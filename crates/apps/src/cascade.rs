@@ -1,0 +1,117 @@
+//! Accelerated cascades: contract with the (work-optimal, more rounds)
+//! matching contraction only until the instance is small, then switch to
+//! the (work-heavy, fewer rounds) pointer jumping.
+//!
+//! The classic technique of Cole–Vishkin [4] that the paper's
+//! introduction situates itself in: an `O(n)`-work reducer shrinks the
+//! problem to size `n/log n`, after which Wyllie's `O(m log m)` work on
+//! `m = n/log n` nodes is only `O(n)` — total linear work with fewer
+//! contraction levels than pure contraction.
+
+use crate::rank::contract_once;
+use parmatch_baselines::wyllie::wyllie_weighted;
+use parmatch_core::CoinVariant;
+use parmatch_list::LinkedList;
+
+/// Result of [`rank_accelerated`].
+#[derive(Debug, Clone)]
+pub struct CascadeOutput {
+    /// `rank[v]` = number of nodes strictly after `v` in list order.
+    pub ranks: Vec<u64>,
+    /// Contraction levels run before the switch.
+    pub contract_levels: u32,
+    /// Nodes remaining when pointer jumping took over.
+    pub switch_size: usize,
+    /// Total node-visits across both phases.
+    pub work: u64,
+}
+
+/// Rank by accelerated cascades: contract until ≤ `n/log n` nodes (or a
+/// small floor), then finish with Wyllie.
+pub fn rank_accelerated(list: &LinkedList, i: u32, variant: CoinVariant) -> CascadeOutput {
+    let n = list.len();
+    if n == 0 {
+        return CascadeOutput { ranks: Vec::new(), contract_levels: 0, switch_size: 0, work: 0 };
+    }
+    let log_n = usize::BITS - n.leading_zeros();
+    let target = (n / log_n.max(1) as usize).max(8);
+
+    // Contraction phase: peel levels until small enough.
+    let mut frames = Vec::new();
+    let mut cur_list = list.clone();
+    let mut cur_weights = vec![1u64; n];
+    let mut work = 0u64;
+    let mut levels = 0u32;
+    while cur_list.len() > target && cur_list.len() > 8 {
+        work += cur_list.len() as u64;
+        let (next_list, next_weights, frame) = contract_once(&cur_list, &cur_weights, i, variant);
+        frames.push((cur_list, cur_weights, frame));
+        cur_list = next_list;
+        cur_weights = next_weights;
+        levels += 1;
+    }
+
+    // Jumping phase on the small remainder.
+    let (mut ranks, jump_work) = wyllie_weighted(&cur_list, &cur_weights);
+    work += jump_work;
+
+    // Expansion back up the cascade.
+    while let Some((lvl_list, lvl_weights, frame)) = frames.pop() {
+        ranks = frame.expand(&lvl_list, &lvl_weights, &ranks);
+    }
+    CascadeOutput { ranks, contract_levels: levels, switch_size: cur_list.len(), work }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmatch_apps_test_util::*;
+
+    mod parmatch_apps_test_util {
+        pub use parmatch_list::{random_list, sequential_list};
+    }
+
+    #[test]
+    fn matches_ground_truth() {
+        for seed in 0..5 {
+            let list = random_list(4000, seed);
+            let out = rank_accelerated(&list, 2, CoinVariant::Msb);
+            assert_eq!(out.ranks, list.ranks_seq(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fewer_levels_than_pure_contraction() {
+        let n = 1 << 15;
+        let list = random_list(n, 3);
+        let pure = crate::rank::rank_by_contraction(&list, 2, CoinVariant::Msb);
+        let casc = rank_accelerated(&list, 2, CoinVariant::Msb);
+        assert_eq!(pure.ranks, casc.ranks);
+        assert!(
+            casc.contract_levels < pure.levels,
+            "cascade {} vs pure {}",
+            casc.contract_levels,
+            pure.levels
+        );
+        // and total work stays linear-ish
+        assert!(casc.work <= 5 * n as u64, "work {}", casc.work);
+    }
+
+    #[test]
+    fn switch_size_near_n_over_log_n() {
+        let n = 1 << 14;
+        let list = random_list(n, 9);
+        let out = rank_accelerated(&list, 2, CoinVariant::Msb);
+        assert!(out.switch_size <= n / 14 + 8, "switch at {}", out.switch_size);
+    }
+
+    #[test]
+    fn tiny() {
+        assert!(rank_accelerated(&sequential_list(0), 2, CoinVariant::Msb).ranks.is_empty());
+        for n in 1..=20 {
+            let list = random_list(n, n as u64);
+            let out = rank_accelerated(&list, 1, CoinVariant::Msb);
+            assert_eq!(out.ranks, list.ranks_seq(), "n={n}");
+        }
+    }
+}

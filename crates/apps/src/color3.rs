@@ -1,0 +1,105 @@
+//! 3-coloring the nodes from a maximal matching.
+//!
+//! The derivation (made explicit here; the paper states the application
+//! without proof):
+//!
+//! * two adjacent unmatched nodes would leave the pointer between them
+//!   addable — impossible under maximality — so the unmatched nodes are
+//!   an independent set: color them 2;
+//! * color a matched pointer's tail 0 and its head 1. An edge `<u, v>`
+//!   between nodes of *different* matched pairs cannot be matched
+//!   itself, so `u`'s matched pointer enters `u` (u is a head, color 1)
+//!   and `v`'s leaves `v` (v is a tail, color 0) — distinct. Within a
+//!   pair the edge joins the tail (0) to the head (1).
+
+use parmatch_core::{match4_with, CoinVariant, Matching};
+use parmatch_list::{LinkedList, NodeId, NIL};
+
+/// Color of a matched pointer's tail.
+pub const TAIL_COLOR: u8 = 0;
+/// Color of a matched pointer's head.
+pub const HEAD_COLOR: u8 = 1;
+/// Color of nodes not covered by the matching.
+pub const FREE_COLOR: u8 = 2;
+
+/// Read a proper 3-coloring of the nodes off a maximal matching.
+///
+/// # Panics
+///
+/// Debug-asserts maximality-derived properties; with a non-maximal
+/// input the result may be improper (two adjacent FREE nodes).
+pub fn color3_from_matching(list: &LinkedList, m: &Matching) -> Vec<u8> {
+    let n = list.len();
+    let mut colors = vec![FREE_COLOR; n];
+    for v in 0..n as NodeId {
+        if m.contains_tail(v) {
+            colors[v as usize] = TAIL_COLOR;
+            let head = list.next_raw(v);
+            debug_assert_ne!(head, NIL);
+            colors[head as usize] = HEAD_COLOR;
+        }
+    }
+    colors
+}
+
+/// Compute the 3-coloring end to end with Match4.
+pub fn color3_via_match4(list: &LinkedList, i: u32, variant: CoinVariant) -> Vec<u8> {
+    if list.len() < 2 {
+        return vec![FREE_COLOR; list.len()];
+    }
+    let m = match4_with(list, i, variant).matching;
+    color3_from_matching(list, &m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmatch_baselines::cv::node_coloring_is_proper;
+    use parmatch_list::{random_list, reversed_list, sequential_list};
+
+    #[test]
+    fn proper_on_random_lists() {
+        for seed in 0..8 {
+            let list = random_list(4000, seed);
+            let colors = color3_via_match4(&list, 2, CoinVariant::Msb);
+            assert!(node_coloring_is_proper(&list, &colors, 3), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn colors_encode_the_matching() {
+        let list = random_list(500, 3);
+        let m = match4_with(&list, 2, CoinVariant::Msb).matching;
+        let colors = color3_from_matching(&list, &m);
+        for v in 0..500u32 {
+            if m.contains_tail(v) {
+                assert_eq!(colors[v as usize], TAIL_COLOR);
+                assert_eq!(colors[list.next_raw(v) as usize], HEAD_COLOR);
+            }
+        }
+        // FREE nodes are exactly the uncovered ones
+        let covered = m.matched_nodes(&list);
+        for v in 0..500usize {
+            assert_eq!(colors[v] == FREE_COLOR, !covered[v], "node {v}");
+        }
+    }
+
+    #[test]
+    fn structured_layouts() {
+        for list in [sequential_list(1001), reversed_list(64)] {
+            let colors = color3_via_match4(&list, 1, CoinVariant::Lsb);
+            assert!(node_coloring_is_proper(&list, &colors, 3));
+        }
+    }
+
+    #[test]
+    fn tiny() {
+        assert!(color3_via_match4(&sequential_list(0), 2, CoinVariant::Msb).is_empty());
+        assert_eq!(
+            color3_via_match4(&sequential_list(1), 2, CoinVariant::Msb),
+            vec![FREE_COLOR]
+        );
+        let two = color3_via_match4(&sequential_list(2), 2, CoinVariant::Msb);
+        assert_eq!(two, vec![TAIL_COLOR, HEAD_COLOR]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Applications of the maximal matching — the uses the paper's
+//! introduction motivates.
+//!
+//! * [`color3`] — a proper 3-coloring of the *nodes* read directly off a
+//!   maximal matching: unmatched nodes get color 2 (they are pairwise
+//!   non-adjacent, else the matching would not be maximal); a matched
+//!   pointer's tail gets 0 and its head 1 (across distinct pairs, an
+//!   edge always joins a head to a tail).
+//! * [`mis`] — a maximal independent set from the 3-coloring: sweep the
+//!   three color classes, each an independent set, greedily.
+//! * [`rank`] — list ranking by **matching contraction**: splice out the
+//!   head of every matched pointer (matched pointers are node-disjoint,
+//!   so splices commute), recurse on the ≤ `2n/3 + O(1)`-node rest, and
+//!   unsplice — `O(n)` work and `O(log n)` contraction levels, the
+//!   "optimal list prefix" use the paper cites, against Wyllie's
+//!   `O(n log n)` work.
+//! * [`prefix`] — data-dependent prefix sums over the list via ranking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! * [`cascade`] — accelerated cascades (Cole–Vishkin [4]): contract
+//!   until the instance is `n/log n` small, finish with pointer
+//!   jumping — linear work with fewer contraction levels.
+
+pub mod cascade;
+pub mod color3;
+pub mod mis;
+pub mod prefix;
+pub mod rank;
+
+pub use cascade::{rank_accelerated, CascadeOutput};
+pub use color3::{color3_from_matching, color3_via_match4};
+pub use mis::{is_maximal_independent_set, mis_via_match4};
+pub use prefix::prefix_sums;
+pub use rank::{contract_once, rank_by_contraction, weighted_ranks, ContractionFrame, RankOutput};

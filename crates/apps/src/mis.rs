@@ -1,0 +1,119 @@
+//! Maximal independent set of the list's nodes.
+//!
+//! From a proper 3-coloring: sweep the color classes in order; each
+//! class is an independent set, so all its nodes can decide
+//! simultaneously ("join unless a neighbor already joined").
+
+use crate::color3::color3_via_match4;
+use parmatch_core::CoinVariant;
+use parmatch_list::{LinkedList, NodeId, NIL};
+use rayon::prelude::*;
+
+/// Maximal independent set from a proper node coloring with any palette.
+///
+/// # Panics
+///
+/// Panics if `colors.len() != list.len()`.
+pub fn mis_from_coloring(list: &LinkedList, colors: &[u8], palette: u8) -> Vec<bool> {
+    assert_eq!(colors.len(), list.len(), "color array length mismatch");
+    let n = list.len();
+    let pred = list.pred_array();
+    let mut selected = vec![false; n];
+    for class in 0..palette {
+        let joins: Vec<usize> = (0..n)
+            .into_par_iter()
+            .filter(|&v| {
+                if colors[v] != class {
+                    return false;
+                }
+                let left = pred[v] != NIL && selected[pred[v] as usize];
+                let right = match list.next_raw(v as NodeId) {
+                    NIL => false,
+                    w => selected[w as usize],
+                };
+                !left && !right
+            })
+            .collect();
+        for v in joins {
+            selected[v] = true;
+        }
+    }
+    selected
+}
+
+/// Maximal independent set end to end: Match4 → 3-coloring → class sweep.
+pub fn mis_via_match4(list: &LinkedList, i: u32, variant: CoinVariant) -> Vec<bool> {
+    if list.is_empty() {
+        return Vec::new();
+    }
+    if list.len() == 1 {
+        return vec![true];
+    }
+    let colors = color3_via_match4(list, i, variant);
+    mis_from_coloring(list, &colors, 3)
+}
+
+/// Verifier: `selected` is independent (no two adjacent nodes) and
+/// maximal (every unselected node has a selected neighbor).
+pub fn is_maximal_independent_set(list: &LinkedList, selected: &[bool]) -> bool {
+    assert_eq!(selected.len(), list.len(), "selection length mismatch");
+    let pred = list.pred_array();
+    (0..list.len()).into_par_iter().all(|v| {
+        let right = list.next_raw(v as NodeId);
+        if selected[v] {
+            // independence against the right neighbor suffices (left is
+            // checked from the other side)
+            right == NIL || !selected[right as usize]
+        } else {
+            let left_sel = pred[v] != NIL && selected[pred[v] as usize];
+            let right_sel = right != NIL && selected[right as usize];
+            left_sel || right_sel
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmatch_list::{random_list, sequential_list};
+
+    #[test]
+    fn mis_on_random_lists() {
+        for seed in 0..8 {
+            let list = random_list(3000, seed);
+            let sel = mis_via_match4(&list, 2, CoinVariant::Msb);
+            assert!(is_maximal_independent_set(&list, &sel), "seed {seed}");
+            // An MIS on a path has between ⌈n/3⌉ and ⌈n/2⌉ nodes.
+            let k = sel.iter().filter(|&&b| b).count();
+            assert!(3 * k >= 3000 && 2 * k <= 3001, "k={k}");
+        }
+    }
+
+    #[test]
+    fn mis_on_chains() {
+        for n in [2usize, 3, 4, 5, 17, 100] {
+            let list = sequential_list(n);
+            let sel = mis_via_match4(&list, 1, CoinVariant::Lsb);
+            assert!(is_maximal_independent_set(&list, &sel), "n={n}");
+        }
+    }
+
+    #[test]
+    fn verifier_rejects_bad_sets() {
+        let list = sequential_list(4);
+        // adjacent pair selected
+        assert!(!is_maximal_independent_set(&list, &[true, true, false, false]));
+        // not maximal: node 3 has no selected neighbor
+        assert!(!is_maximal_independent_set(&list, &[true, false, false, false]));
+        // good: 0, 2 selected covers 1, 3
+        assert!(is_maximal_independent_set(&list, &[true, false, true, false]));
+    }
+
+    #[test]
+    fn tiny() {
+        assert!(mis_via_match4(&sequential_list(0), 2, CoinVariant::Msb).is_empty());
+        assert_eq!(mis_via_match4(&sequential_list(1), 2, CoinVariant::Msb), vec![true]);
+        let sel = mis_via_match4(&sequential_list(2), 2, CoinVariant::Msb);
+        assert!(is_maximal_independent_set(&sequential_list(2), &sel));
+    }
+}

@@ -1,0 +1,101 @@
+//! Data-dependent prefix sums over the linked list.
+//!
+//! The operation the linked-list prefix literature ([9, 13, 15, 16] in
+//! the paper) targets: given a value per node, compute for every node
+//! the sum of all values from the head up to and including it — with the
+//! list order known only through the pointers. Built on the contraction
+//! ranking: rank → array position → ordinary scan → gather.
+
+use crate::rank::rank_by_contraction;
+use parmatch_core::CoinVariant;
+use parmatch_list::LinkedList;
+use rayon::prelude::*;
+
+/// Inclusive prefix sums in list order: `out[v] = Σ values[u]` over all
+/// `u` from the head to `v`.
+///
+/// # Examples
+///
+/// ```
+/// use parmatch_apps::prefix_sums;
+/// use parmatch_core::CoinVariant;
+/// use parmatch_list::LinkedList;
+///
+/// // list order: 2 -> 0 -> 1, values indexed by node id
+/// let list = LinkedList::from_order(&[2, 0, 1]);
+/// let out = prefix_sums(&list, &[10, 100, 1], 1, CoinVariant::Msb);
+/// assert_eq!(out, vec![11, 111, 1]); // node 2 first, then 0, then 1
+/// ```
+///
+/// # Panics
+///
+/// Panics if `values.len() != list.len()`.
+pub fn prefix_sums(list: &LinkedList, values: &[u64], i: u32, variant: CoinVariant) -> Vec<u64> {
+    assert_eq!(values.len(), list.len(), "values length mismatch");
+    let n = list.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let ranks = rank_by_contraction(list, i, variant).ranks;
+    // position in list order = n-1-rank
+    let mut by_pos = vec![0u64; n];
+    let positions: Vec<usize> = ranks.par_iter().map(|&r| n - 1 - r as usize).collect();
+    for (v, &pos) in positions.iter().enumerate() {
+        by_pos[pos] = values[v];
+    }
+    // ordinary inclusive scan over the array
+    let mut acc = 0u64;
+    for x in by_pos.iter_mut() {
+        acc += *x;
+        *x = acc;
+    }
+    positions.par_iter().map(|&pos| by_pos[pos]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmatch_list::{random_list, sequential_list};
+
+    fn reference(list: &LinkedList, values: &[u64]) -> Vec<u64> {
+        let mut out = vec![0u64; list.len()];
+        let mut acc = 0u64;
+        for v in list.order() {
+            acc += values[v as usize];
+            out[v as usize] = acc;
+        }
+        out
+    }
+
+    #[test]
+    fn matches_reference_on_random_lists() {
+        for seed in 0..5 {
+            let list = random_list(2000, seed);
+            let values: Vec<u64> = (0..2000u64).map(|v| v * 7 % 113).collect();
+            let got = prefix_sums(&list, &values, 2, CoinVariant::Msb);
+            assert_eq!(got, reference(&list, &values), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn unit_values_give_positions() {
+        let list = random_list(300, 8);
+        let got = prefix_sums(&list, &vec![1u64; 300], 2, CoinVariant::Msb);
+        for (v, &g) in got.iter().enumerate() {
+            assert_eq!(g, 300 - list.ranks_seq()[v], "node {v}");
+        }
+    }
+
+    #[test]
+    fn tiny() {
+        assert!(prefix_sums(&sequential_list(0), &[], 2, CoinVariant::Msb).is_empty());
+        assert_eq!(
+            prefix_sums(&sequential_list(1), &[5], 2, CoinVariant::Msb),
+            vec![5]
+        );
+        assert_eq!(
+            prefix_sums(&sequential_list(3), &[1, 2, 3], 1, CoinVariant::Msb),
+            vec![1, 3, 6]
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! List ranking by matching contraction — the "optimal list prefix" use
+//! of the maximal matching.
+//!
+//! Each level: compute a maximal matching, splice out the *head* of
+//! every matched pointer (legal simultaneously — matched pointers share
+//! no node, and a splice target is never itself removed: the unique
+//! pointer into it would have to be matched too), accumulate the spliced
+//! pointer's weight, recurse on the contracted list, then expand:
+//! `rank(head) = rank(tail) − weight(tail→head before splice)`.
+//!
+//! A maximal matching covers ≥ ⅓ of the pointers, so each level removes
+//! ≥ `(n−1)/3` nodes: `O(log n)` levels, geometric total work `O(n)` —
+//! versus Wyllie's `Θ(n log n)` (see `parmatch-baselines`).
+
+use parmatch_core::{match4_with, CoinVariant};
+use parmatch_list::{LinkedList, NodeId, NIL};
+use rayon::prelude::*;
+
+/// Result of [`rank_by_contraction`].
+#[derive(Debug, Clone)]
+pub struct RankOutput {
+    /// `rank[v]` = number of nodes strictly after `v` in list order.
+    pub ranks: Vec<u64>,
+    /// Contraction levels (`O(log n)`).
+    pub levels: u32,
+    /// Total nodes processed across levels (the `O(n)` work term, to
+    /// compare against Wyllie's `n·log n`).
+    pub work: u64,
+}
+
+/// Threshold below which a level is ranked by a sequential walk.
+const BASE: usize = 32;
+
+/// Rank every node using Match4 (partition parameter `i`) at each
+/// contraction level.
+///
+/// # Examples
+///
+/// ```
+/// use parmatch_apps::rank_by_contraction;
+/// use parmatch_core::CoinVariant;
+/// use parmatch_list::random_list;
+///
+/// let list = random_list(10_000, 1);
+/// let out = rank_by_contraction(&list, 2, CoinVariant::Msb);
+/// assert_eq!(out.ranks, list.ranks_seq());
+/// assert!(out.work < 4 * 10_000); // linear total work
+/// ```
+pub fn rank_by_contraction(list: &LinkedList, i: u32, variant: CoinVariant) -> RankOutput {
+    let n = list.len();
+    let mut work = 0u64;
+    let mut levels = 0u32;
+    let weights = vec![1u64; n];
+    let ranks = go(list, &weights, i, variant, &mut levels, &mut work);
+    RankOutput { ranks, levels, work }
+}
+
+/// One contraction level's bookkeeping, sufficient to expand ranks of
+/// the contracted list back to the original.
+#[derive(Debug, Clone)]
+pub struct ContractionFrame {
+    /// Old → new id over kept nodes ([`NIL`] for removed ones).
+    map: Vec<NodeId>,
+    /// Kept old ids, in new-id order.
+    kept: Vec<NodeId>,
+    /// `removed[a]` ⇔ pointer `<a, suc a>` was matched and `a` spliced.
+    removed: Vec<bool>,
+}
+
+impl ContractionFrame {
+    /// Old → new node id ([`NIL`] for spliced-out nodes).
+    pub fn map(&self) -> &[NodeId] {
+        &self.map
+    }
+
+    /// Number of nodes surviving the contraction.
+    pub fn kept_len(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// Expand ranks computed on the contracted list back to this level:
+    /// kept nodes copy their rank; a removed tail sits one weighted hop
+    /// before its (kept) successor. `list`/`weights` are this level's.
+    pub fn expand(&self, list: &LinkedList, weights: &[u64], ranks2: &[u64]) -> Vec<u64> {
+        let n = list.len();
+        let mut ranks = vec![0u64; n];
+        for (new_v, &v) in self.kept.iter().enumerate() {
+            ranks[v as usize] = ranks2[new_v];
+        }
+        for (a, &rm) in self.removed.iter().enumerate() {
+            if rm {
+                let b = list.next_raw(a as NodeId) as usize;
+                ranks[a] = weights[a] + ranks[b];
+            }
+        }
+        ranks
+    }
+}
+
+/// One contraction level: compute a maximal matching with Match4 and
+/// splice out every matched pointer's *tail*. The list tail has no
+/// outgoing pointer, so it is never removed and the weighted distance of
+/// every kept node to it is preserved; a removed tail's successor (the
+/// matched head) is always kept, since the unique pointer into it is the
+/// matched one. Returns the contracted list, its pointer weights, and
+/// the [`ContractionFrame`] for expansion.
+pub fn contract_once(
+    list: &LinkedList,
+    weights: &[u64],
+    i: u32,
+    variant: CoinVariant,
+) -> (LinkedList, Vec<u64>, ContractionFrame) {
+    let n = list.len();
+    let m = match4_with(list, i, variant).matching;
+    let removed = m.mask().to_vec(); // removed[a] ⇔ <a, suc a> matched
+
+    // Old → new id map over kept nodes.
+    let mut map = vec![NIL; n];
+    let mut kept = Vec::with_capacity(n);
+    for v in 0..n {
+        if !removed[v] {
+            map[v] = kept.len() as NodeId;
+            kept.push(v as NodeId);
+        }
+    }
+
+    // Contracted next/weights.
+    let n2 = kept.len();
+    let mut next2 = vec![NIL; n2];
+    let mut weights2 = vec![0u64; n2];
+    for (new_x, &x) in kept.iter().enumerate() {
+        let xu = x as usize;
+        match list.next_raw(x) {
+            NIL => {
+                next2[new_x] = NIL;
+                weights2[new_x] = weights[xu];
+            }
+            a if removed[a as usize] => {
+                // splice over the removed matched tail a
+                let b = list.next_raw(a);
+                debug_assert_ne!(b, NIL, "a matched tail has a successor");
+                next2[new_x] = map[b as usize];
+                weights2[new_x] = weights[xu] + weights[a as usize];
+            }
+            w => {
+                next2[new_x] = map[w as usize];
+                weights2[new_x] = weights[xu];
+            }
+        }
+    }
+    let head = list.head();
+    let head2 = if removed[head as usize] {
+        // the old head was a matched tail: the contracted list starts at
+        // its (kept) successor
+        map[list.next_raw(head) as usize]
+    } else {
+        map[head as usize]
+    };
+    let list2 = LinkedList::from_parts(next2, head2);
+    (list2, weights2, ContractionFrame { map, kept, removed })
+}
+
+/// Weighted ranking: `rank[v]` = sum of pointer weights on the path from
+/// `v` to the tail (`weights[v]` is the weight of pointer `<v, suc v>`;
+/// the tail's entry is ignored).
+fn go(
+    list: &LinkedList,
+    weights: &[u64],
+    i: u32,
+    variant: CoinVariant,
+    levels: &mut u32,
+    work: &mut u64,
+) -> Vec<u64> {
+    let n = list.len();
+    *work += n as u64;
+    if n <= BASE {
+        // sequential base case: rank[v] = w[v] + rank[suc v], tail 0;
+        // the tail's own weight entry is meaningless and must not leak in
+        let mut ranks = vec![0u64; n];
+        let order = list.order();
+        let mut succ_rank = 0u64;
+        for (idx, &v) in order.iter().rev().enumerate() {
+            let rv = if idx == 0 { 0 } else { weights[v as usize] + succ_rank };
+            ranks[v as usize] = rv;
+            succ_rank = rv;
+        }
+        return ranks;
+    }
+    *levels += 1;
+    let (list2, weights2, frame) = contract_once(list, weights, i, variant);
+    let ranks2 = go(&list2, &weights2, i, variant, levels, work);
+    frame.expand(list, weights, &ranks2)
+}
+
+/// Weighted public entry point: ranks where pointer `<v, suc v>` counts
+/// `weights[v]` units (plain ranking is all-ones).
+pub fn weighted_ranks(
+    list: &LinkedList,
+    weights: &[u64],
+    i: u32,
+    variant: CoinVariant,
+) -> Vec<u64> {
+    assert_eq!(weights.len(), list.len(), "weights length mismatch");
+    let (mut levels, mut work) = (0u32, 0u64);
+    go(list, weights, i, variant, &mut levels, &mut work)
+}
+
+/// Parallel consistency check: `rank[tail] = 0` and every pointer drops
+/// the rank by its weight (1 for plain ranking).
+pub fn ranks_are_consistent(list: &LinkedList, ranks: &[u64]) -> bool {
+    assert_eq!(ranks.len(), list.len(), "rank array length mismatch");
+    (0..list.len() as NodeId).into_par_iter().all(|v| {
+        match list.next_raw(v) {
+            NIL => ranks[v as usize] == 0,
+            w => ranks[v as usize] == ranks[w as usize] + 1,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmatch_list::{blocked_list, random_list, sequential_list};
+
+    #[test]
+    fn matches_sequential_ranks() {
+        for seed in 0..6 {
+            let list = random_list(5000, seed);
+            let out = rank_by_contraction(&list, 2, CoinVariant::Msb);
+            assert_eq!(out.ranks, list.ranks_seq(), "seed {seed}");
+            assert!(ranks_are_consistent(&list, &out.ranks));
+        }
+    }
+
+    #[test]
+    fn levels_are_logarithmic_work_linear() {
+        let n = 1 << 16;
+        let list = random_list(n, 4);
+        let out = rank_by_contraction(&list, 2, CoinVariant::Msb);
+        // each level keeps ≤ 2/3 + o(1) of the nodes
+        assert!(out.levels <= 40, "levels {}", out.levels);
+        assert!(
+            out.work <= 4 * n as u64,
+            "work {} should be ≤ 4n (geometric series bound)",
+            out.work
+        );
+    }
+
+    #[test]
+    fn beats_wyllie_on_work() {
+        let n = 1 << 14;
+        let list = random_list(n, 9);
+        let ours = rank_by_contraction(&list, 2, CoinVariant::Msb);
+        let wyllie = parmatch_baselines::wyllie_ranks(&list);
+        assert_eq!(ours.ranks, wyllie.ranks);
+        assert!(
+            ours.work < wyllie.work / 2,
+            "contraction {} vs wyllie {}",
+            ours.work,
+            wyllie.work
+        );
+    }
+
+    #[test]
+    fn structured_layouts() {
+        for list in [sequential_list(4097), blocked_list(3000, 100, 1)] {
+            let out = rank_by_contraction(&list, 1, CoinVariant::Lsb);
+            assert_eq!(out.ranks, list.ranks_seq());
+        }
+    }
+
+    #[test]
+    fn tiny() {
+        assert!(rank_by_contraction(&sequential_list(0), 2, CoinVariant::Msb).ranks.is_empty());
+        assert_eq!(
+            rank_by_contraction(&sequential_list(1), 2, CoinVariant::Msb).ranks,
+            vec![0]
+        );
+        for n in 2..=40 {
+            let list = random_list(n, n as u64);
+            let out = rank_by_contraction(&list, 1, CoinVariant::Msb);
+            assert_eq!(out.ranks, list.ranks_seq(), "n={n}");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Plain deterministic coin tossing to a 3-coloring of the nodes
+//! (Cole–Vishkin [3] / Han [6]) — the technique Match1 builds on,
+//! included as the prior-art baseline for the coloring application.
+//!
+//! Phase 1 iterates the matching partition function on *node* labels to
+//! a constant palette (`G(n) + O(1)` rounds). Phase 2 reduces the
+//! constant palette to `{0,1,2}`: classes above 2 are recolored one at a
+//! time, each node of the class picking a free color — legal in
+//! parallel because a class is an independent set (adjacent nodes carry
+//! distinct labels throughout).
+
+use parmatch_bits::Word;
+use parmatch_core::{CoinVariant, LabelSeq};
+use parmatch_list::{LinkedList, NodeId, NIL};
+use rayon::prelude::*;
+
+/// Result of [`cv_color3`].
+#[derive(Debug, Clone)]
+pub struct CvOutput {
+    /// `color[v] ∈ {0,1,2}` with adjacent nodes distinct.
+    pub colors: Vec<u8>,
+    /// Coin-tossing rounds of phase 1.
+    pub coin_rounds: u32,
+    /// Palette-reduction sweeps of phase 2.
+    pub reduce_sweeps: u32,
+}
+
+/// 3-color the *nodes* of the list by deterministic coin tossing.
+pub fn cv_color3(list: &LinkedList, variant: CoinVariant) -> CvOutput {
+    let n = list.len();
+    if n == 0 {
+        return CvOutput { colors: Vec::new(), coin_rounds: 0, reduce_sweeps: 0 };
+    }
+    if n == 1 {
+        return CvOutput { colors: vec![0], coin_rounds: 0, reduce_sweeps: 0 };
+    }
+    let seq = LabelSeq::initial(list, variant).relabel_to_convergence(list);
+    let mut colors: Vec<Word> = seq.labels().to_vec();
+    let bound = seq.bound();
+    let pred = list.pred_array();
+
+    // Phase 2: recolor classes 3..bound one at a time.
+    let mut sweeps = 0u32;
+    for class in 3..bound {
+        sweeps += 1;
+        let updates: Vec<(usize, Word)> = (0..n)
+            .into_par_iter()
+            .filter(|&v| colors[v] == class)
+            .map(|v| {
+                let left = match pred[v] {
+                    NIL => Word::MAX,
+                    u => colors[u as usize],
+                };
+                let right = match list.next_raw(v as NodeId) {
+                    NIL => Word::MAX,
+                    w => colors[w as usize],
+                };
+                let c = (0..3).find(|&c| c != left && c != right).expect("3 colors");
+                (v, c)
+            })
+            .collect();
+        for (v, c) in updates {
+            colors[v] = c;
+        }
+    }
+    CvOutput {
+        colors: colors.into_iter().map(|c| c as u8).collect(),
+        coin_rounds: seq.rounds(),
+        reduce_sweeps: sweeps,
+    }
+}
+
+/// Check a node coloring: adjacent nodes differ, palette respected.
+pub fn node_coloring_is_proper(list: &LinkedList, colors: &[u8], palette: u8) -> bool {
+    assert_eq!(colors.len(), list.len(), "color array length mismatch");
+    (0..list.len() as NodeId).into_par_iter().all(|v| {
+        if colors[v as usize] >= palette {
+            return false;
+        }
+        match list.next_raw(v) {
+            NIL => true,
+            w => colors[v as usize] != colors[w as usize],
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmatch_list::{random_list, reversed_list, sequential_list};
+
+    #[test]
+    fn proper_3_coloring_everywhere() {
+        for seed in 0..5 {
+            let list = random_list(3000, seed);
+            for variant in [CoinVariant::Msb, CoinVariant::Lsb] {
+                let out = cv_color3(&list, variant);
+                assert!(node_coloring_is_proper(&list, &out.colors, 3));
+                assert!(out.coin_rounds <= 6);
+                assert!(out.reduce_sweeps <= 6); // bound ≤ 9 → ≤ 6 classes
+            }
+        }
+    }
+
+    #[test]
+    fn structured_layouts() {
+        for list in [sequential_list(777), reversed_list(1024)] {
+            let out = cv_color3(&list, CoinVariant::Msb);
+            assert!(node_coloring_is_proper(&list, &out.colors, 3));
+        }
+    }
+
+    #[test]
+    fn tiny() {
+        assert!(cv_color3(&sequential_list(0), CoinVariant::Msb).colors.is_empty());
+        assert_eq!(cv_color3(&sequential_list(1), CoinVariant::Msb).colors, vec![0]);
+        let out = cv_color3(&sequential_list(2), CoinVariant::Msb);
+        assert!(node_coloring_is_proper(&sequential_list(2), &out.colors, 3));
+    }
+
+    #[test]
+    fn checker_rejects_bad_colorings() {
+        let list = sequential_list(3);
+        assert!(!node_coloring_is_proper(&list, &[0, 0, 1], 3));
+        assert!(!node_coloring_is_proper(&list, &[0, 3, 1], 3));
+        assert!(node_coloring_is_proper(&list, &[0, 1, 0], 3));
+    }
+}

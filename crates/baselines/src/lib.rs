@@ -1,0 +1,29 @@
+//! Baseline algorithms the paper positions itself against.
+//!
+//! * [`seq`] — the sequential greedy matcher: one left-to-right walk,
+//!   `T_1 = Θ(n)`. This is the denominator of every optimality claim
+//!   (`p·T_p = O(T_1)`).
+//! * [`random`] — randomized symmetry breaking (the coin-tossing
+//!   algorithms of Miller–Reif / Reif the introduction cites as "either
+//!   randomized … or not less than O(log n)"): each round every live
+//!   pointer flips a coin, heads-before-tails pointers enter the
+//!   matching; `O(log n)` rounds in expectation.
+//! * [`wyllie`] — pointer-jumping list ranking (Wyllie), the
+//!   `O(n log n)`-work workhorse the matching-based ranking of
+//!   `parmatch-apps` beats on work.
+//! * [`cv`] — the plain Cole–Vishkin / Han deterministic coin-tossing
+//!   chain to a 3-coloring of the *nodes* (iterate `f`, then reduce the
+//!   constant palette to 3), the predecessor technique Match1 builds on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cv;
+pub mod random;
+pub mod seq;
+pub mod wyllie;
+
+pub use cv::{cv_color3, CvOutput};
+pub use random::{randomized_matching, RandomizedOutput};
+pub use seq::seq_matching;
+pub use wyllie::{wyllie_ranks, WyllieOutput};

@@ -1,0 +1,139 @@
+//! Randomized coin-tossing matching.
+//!
+//! The randomized symmetry-breaking pattern of the prefix algorithms the
+//! introduction cites: each round, every *live* pointer (both endpoints
+//! uncovered) flips an independent fair coin; a pointer enters the
+//! matching if it flipped heads and neither neighbor pointer flipped
+//! heads. Each live pointer survives a round uncovered with probability
+//! bounded away from 1, so `O(log n)` rounds suffice with high
+//! probability — the cost the deterministic algorithms remove.
+
+use parmatch_core::Matching;
+use parmatch_list::{LinkedList, NodeId, NIL};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Result of [`randomized_matching`].
+#[derive(Debug, Clone)]
+pub struct RandomizedOutput {
+    /// The maximal matching.
+    pub matching: Matching,
+    /// Coin-flip rounds used (the measured `O(log n)`).
+    pub rounds: u32,
+}
+
+/// Randomized maximal matching; deterministic in `seed`.
+///
+/// # Examples
+///
+/// ```
+/// use parmatch_baselines::randomized_matching;
+/// use parmatch_core::verify;
+/// use parmatch_list::random_list;
+///
+/// let list = random_list(5_000, 1);
+/// let out = randomized_matching(&list, 7);
+/// verify::assert_maximal_matching(&list, &out.matching);
+/// assert!(out.rounds >= 2); // Θ(log n) coin-flip rounds, not constant
+/// ```
+pub fn randomized_matching(list: &LinkedList, seed: u64) -> RandomizedOutput {
+    let n = list.len();
+    if n < 2 {
+        return RandomizedOutput { matching: Matching::empty(n), rounds: 0 };
+    }
+    let pred = list.pred_array();
+    let mut mask = vec![false; n];
+    let mut covered = vec![false; n];
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rounds = 0u32;
+
+    // A pointer <v, suc v> is live while both endpoints are uncovered.
+    let live = |v: NodeId, covered: &[bool], list: &LinkedList| -> bool {
+        let w = list.next_raw(v);
+        w != NIL && !covered[v as usize] && !covered[w as usize]
+    };
+
+    loop {
+        let any_live = (0..n as NodeId)
+            .into_par_iter()
+            .any(|v| live(v, &covered, list));
+        if !any_live {
+            break;
+        }
+        rounds += 1;
+        // one word of randomness per pointer tail, drawn up front so the
+        // parallel phase is pure
+        let coins: Vec<bool> = (0..n).map(|_| rng.gen::<bool>()).collect();
+        let heads = |v: NodeId| -> bool {
+            live(v, &covered, list) && coins[v as usize]
+        };
+        let selected: Vec<NodeId> = (0..n as NodeId)
+            .into_par_iter()
+            .filter(|&v| {
+                if !heads(v) {
+                    return false;
+                }
+                // neighbors: <pred v, v> and <suc v, suc suc v>
+                let left_heads = pred[v as usize] != NIL && heads(pred[v as usize]);
+                let right_heads = {
+                    let w = list.next_raw(v);
+                    w != NIL && heads(w)
+                };
+                !left_heads && !right_heads
+            })
+            .collect();
+        for v in selected {
+            mask[v as usize] = true;
+            covered[v as usize] = true;
+            covered[list.next_raw(v) as usize] = true;
+        }
+        assert!(rounds <= 64 + 4 * (usize::BITS - n.leading_zeros()), "randomized matching failed to converge");
+    }
+    RandomizedOutput { matching: Matching::from_mask(list, mask), rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmatch_core::verify;
+    use parmatch_list::{random_list, sequential_list};
+
+    #[test]
+    fn maximal_for_various_seeds() {
+        let list = random_list(2000, 3);
+        for seed in 0..6 {
+            let out = randomized_matching(&list, seed);
+            verify::assert_maximal_matching(&list, &out.matching);
+        }
+    }
+
+    #[test]
+    fn rounds_grow_logarithmically() {
+        // empirical O(log n): rounds stay far below n even at 2^15.
+        let list = random_list(1 << 15, 1);
+        let out = randomized_matching(&list, 9);
+        assert!(out.rounds <= 40, "rounds {}", out.rounds);
+        assert!(out.rounds >= 2, "suspiciously fast: {}", out.rounds);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let list = random_list(500, 2);
+        assert_eq!(
+            randomized_matching(&list, 7).matching,
+            randomized_matching(&list, 7).matching
+        );
+    }
+
+    #[test]
+    fn tiny() {
+        for n in [0usize, 1] {
+            let out = randomized_matching(&sequential_list(n), 0);
+            assert!(out.matching.is_empty());
+            assert_eq!(out.rounds, 0);
+        }
+        let out = randomized_matching(&sequential_list(2), 5);
+        assert_eq!(out.matching.len(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Sequential greedy maximal matching — the `T_1` reference.
+
+use parmatch_core::Matching;
+use parmatch_list::{LinkedList, NIL};
+
+/// One walk down the list: match each pointer whose tail is not already
+/// covered by the previously matched pointer. `Θ(n)` time, and the
+/// matching is the unique greedy-from-the-head one (of maximum size,
+/// `⌈P/2⌉`, on a path).
+pub fn seq_matching(list: &LinkedList) -> Matching {
+    let n = list.len();
+    let mut mask = vec![false; n];
+    let mut v = list.head();
+    let mut prev_matched = false;
+    while v != NIL {
+        let w = list.next_raw(v);
+        if w == NIL {
+            break;
+        }
+        if !prev_matched {
+            mask[v as usize] = true;
+            prev_matched = true;
+        } else {
+            prev_matched = false;
+        }
+        v = w;
+    }
+    Matching::from_mask(list, mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmatch_core::verify;
+    use parmatch_list::{random_list, sequential_list};
+
+    #[test]
+    fn greedy_is_maximum_on_paths() {
+        for n in [2usize, 3, 4, 5, 10, 101] {
+            let list = sequential_list(n);
+            let m = seq_matching(&list);
+            verify::assert_maximal_matching(&list, &m);
+            assert_eq!(m.len(), (n - 1).div_ceil(2), "n={n}");
+        }
+    }
+
+    #[test]
+    fn maximal_on_random_layouts() {
+        for seed in 0..5 {
+            let list = random_list(1000, seed);
+            let m = seq_matching(&list);
+            verify::assert_maximal_matching(&list, &m);
+            // greedy from the head takes every other pointer: maximum size
+            assert_eq!(m.len(), 999usize.div_ceil(2));
+        }
+    }
+
+    #[test]
+    fn tiny() {
+        for n in [0usize, 1] {
+            assert!(seq_matching(&sequential_list(n)).is_empty());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Wyllie's pointer-jumping list ranking.
+//!
+//! The classic `O(log n)`-time, `O(n log n)`-work ranking: every node
+//! repeatedly adds its successor's distance and jumps over it. This is
+//! the non-optimal baseline the matching-contraction ranking of
+//! `parmatch-apps` is compared against (its `n log n` work is the reason
+//! symmetry-breaking-based contraction matters).
+
+use parmatch_list::{LinkedList, NodeId, NIL};
+use rayon::prelude::*;
+
+/// Result of [`wyllie_ranks`].
+#[derive(Debug, Clone)]
+pub struct WyllieOutput {
+    /// `rank[v]` = number of nodes strictly after `v` in list order.
+    pub ranks: Vec<u64>,
+    /// Jump rounds executed (`⌈log₂ n⌉`).
+    pub rounds: u32,
+    /// Total node-updates performed (the `Θ(n log n)` work term).
+    pub work: u64,
+}
+
+/// Weighted pointer jumping: ranks where pointer `<v, suc v>` counts
+/// `weights[v]` units. Returns `(ranks, work)` — used by the
+/// accelerated-cascades ranking as its small-instance finisher.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != list.len()`.
+pub fn wyllie_weighted(list: &LinkedList, weights: &[u64]) -> (Vec<u64>, u64) {
+    assert_eq!(weights.len(), list.len(), "weights length mismatch");
+    let n = list.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let mut next: Vec<NodeId> = (0..n as NodeId)
+        .map(|v| match list.next_raw(v) {
+            NIL => v,
+            w => w,
+        })
+        .collect();
+    let mut dist: Vec<u64> = (0..n as NodeId)
+        .map(|v| if list.next_raw(v) == NIL { 0 } else { weights[v as usize] })
+        .collect();
+    let rounds = if n <= 1 { 0 } else { usize::BITS - (n - 1).leading_zeros() };
+    let mut work = 0u64;
+    for _ in 0..rounds {
+        work += n as u64;
+        let new_dist: Vec<u64> = (0..n)
+            .into_par_iter()
+            .map(|v| dist[v] + dist[next[v] as usize])
+            .collect();
+        let new_next: Vec<NodeId> = (0..n)
+            .into_par_iter()
+            .map(|v| next[next[v] as usize])
+            .collect();
+        dist = new_dist;
+        next = new_next;
+    }
+    (dist, work)
+}
+
+/// Rank every node by pointer jumping.
+pub fn wyllie_ranks(list: &LinkedList) -> WyllieOutput {
+    let n = list.len();
+    if n == 0 {
+        return WyllieOutput { ranks: Vec::new(), rounds: 0, work: 0 };
+    }
+    let mut next: Vec<NodeId> = (0..n as NodeId)
+        .map(|v| match list.next_raw(v) {
+            NIL => v, // tail self-loop
+            w => w,
+        })
+        .collect();
+    let mut dist: Vec<u64> = (0..n as NodeId)
+        .map(|v| u64::from(list.next_raw(v) != NIL))
+        .collect();
+    // After r rounds every node has jumped 2^r hops (or hit the tail,
+    // whose self-loop contributes distance 0): ⌈log₂ n⌉ rounds suffice
+    // and further rounds are no-ops — the textbook fixed count.
+    let rounds = if n <= 1 { 0 } else { usize::BITS - (n - 1).leading_zeros() };
+    let mut work = 0u64;
+    for _ in 0..rounds {
+        work += n as u64;
+        let new_dist: Vec<u64> = (0..n)
+            .into_par_iter()
+            .map(|v| dist[v] + dist[next[v] as usize])
+            .collect();
+        let new_next: Vec<NodeId> = (0..n)
+            .into_par_iter()
+            .map(|v| next[next[v] as usize])
+            .collect();
+        dist = new_dist;
+        next = new_next;
+    }
+    WyllieOutput { ranks: dist, rounds, work }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmatch_list::{random_list, sequential_list};
+
+    #[test]
+    fn matches_sequential_ranks() {
+        for seed in 0..5 {
+            let list = random_list(1000, seed);
+            let out = wyllie_ranks(&list);
+            assert_eq!(out.ranks, list.ranks_seq());
+        }
+    }
+
+    #[test]
+    fn rounds_are_logarithmic() {
+        let list = random_list(1 << 12, 2);
+        let out = wyllie_ranks(&list);
+        assert!(out.rounds <= 13, "rounds {}", out.rounds);
+        assert_eq!(out.work, (out.rounds as u64) * (1 << 12));
+    }
+
+    #[test]
+    fn tiny() {
+        assert!(wyllie_ranks(&sequential_list(0)).ranks.is_empty());
+        assert_eq!(wyllie_ranks(&sequential_list(1)).ranks, vec![0]);
+        let out = wyllie_ranks(&sequential_list(2));
+        assert_eq!(out.ranks, vec![1, 0]);
+    }
+}

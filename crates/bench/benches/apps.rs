@@ -1,0 +1,61 @@
+//! E9 wall-clock: the applications against their baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parmatch_apps::{mis_via_match4, prefix_sums, rank_accelerated, rank_by_contraction};
+use parmatch_apps::color3::color3_via_match4;
+use parmatch_baselines::{cv::cv_color3, wyllie_ranks};
+use parmatch_bench::SEED;
+use parmatch_core::CoinVariant;
+use parmatch_list::random_list;
+use std::hint::black_box;
+
+fn bench_ranking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("list_ranking");
+    g.sample_size(10);
+    for e in [14u32, 17, 20] {
+        let n = 1usize << e;
+        let list = random_list(n, SEED);
+        let tag = format!("2^{e}");
+        g.bench_with_input(BenchmarkId::new("contraction", &tag), &list, |b, l| {
+            b.iter(|| black_box(rank_by_contraction(l, 2, CoinVariant::Msb)));
+        });
+        g.bench_with_input(BenchmarkId::new("cascade", &tag), &list, |b, l| {
+            b.iter(|| black_box(rank_accelerated(l, 2, CoinVariant::Msb)));
+        });
+        g.bench_with_input(BenchmarkId::new("wyllie", &tag), &list, |b, l| {
+            b.iter(|| black_box(wyllie_ranks(l)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coloring3");
+    g.sample_size(15);
+    let list = random_list(1 << 18, SEED);
+    g.bench_function("via_matching", |b| {
+        b.iter(|| black_box(color3_via_match4(&list, 2, CoinVariant::Msb)));
+    });
+    g.bench_function("cole_vishkin", |b| {
+        b.iter(|| black_box(cv_color3(&list, CoinVariant::Msb)));
+    });
+    g.finish();
+}
+
+fn bench_mis_and_prefix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mis_prefix");
+    g.sample_size(10);
+    let n = 1usize << 18;
+    let list = random_list(n, SEED);
+    let values: Vec<u64> = (0..n as u64).collect();
+    g.bench_function("mis", |b| {
+        b.iter(|| black_box(mis_via_match4(&list, 2, CoinVariant::Msb)));
+    });
+    g.bench_function("prefix_sums", |b| {
+        b.iter(|| black_box(prefix_sums(&list, &values, 2, CoinVariant::Msb)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ranking, bench_coloring, bench_mis_and_prefix);
+criterion_main!(benches);

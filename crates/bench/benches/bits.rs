@@ -1,0 +1,84 @@
+//! E10 wall-clock: the appendix machinery — table-driven evaluation vs
+//! hardware instructions, and lookup-table construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parmatch_bits::{
+    ilog2_floor, iterated_log::ilog2_via_tables, lsb_diff, msb_diff, BitReversalTable,
+    UnaryToBinaryTable,
+};
+use parmatch_core::table::TupleTable;
+use parmatch_core::CoinVariant;
+use std::hint::black_box;
+
+fn bench_coin_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coin_primitives");
+    let pairs: Vec<(u64, u64)> = (0..4096u64)
+        .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15), i.wrapping_mul(0xBF58476D1CE4E5B9) | 1))
+        .collect();
+    g.bench_function("msb_diff_hw", |b| {
+        b.iter(|| {
+            for &(x, y) in &pairs {
+                black_box(msb_diff(x, y));
+            }
+        })
+    });
+    g.bench_function("lsb_diff_hw", |b| {
+        b.iter(|| {
+            for &(x, y) in &pairs {
+                black_box(lsb_diff(x, y));
+            }
+        })
+    });
+    let unary = UnaryToBinaryTable::new(24);
+    g.bench_function("lsb_via_table", |b| {
+        b.iter(|| {
+            for &(x, y) in &pairs {
+                let v = (x ^ y) & 0xFF_FFFF;
+                if v != 0 {
+                    black_box(unary.lsb_index(v));
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_log_evaluation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("log_evaluation");
+    let rev = BitReversalTable::new(8);
+    let unary = UnaryToBinaryTable::new(24);
+    let inputs: Vec<u64> = (1..4096u64).collect();
+    g.bench_function("hardware", |b| {
+        b.iter(|| {
+            for &x in &inputs {
+                black_box(ilog2_floor(x));
+            }
+        })
+    });
+    g.bench_function("appendix_tables", |b| {
+        b.iter(|| {
+            for &x in &inputs {
+                black_box(ilog2_via_tables(x, 24, &rev, &unary));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_table_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tuple_table_build");
+    g.sample_size(10);
+    for (w, m) in [(3u32, 4u32), (4, 4), (2, 8)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("w{w}_m{m}")),
+            &(w, m),
+            |b, &(w, m)| {
+                b.iter(|| black_box(TupleTable::build(w, m, CoinVariant::Msb, 24).unwrap()))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_coin_primitives, bench_log_evaluation, bench_table_build);
+criterion_main!(benches);

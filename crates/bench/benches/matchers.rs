@@ -1,0 +1,76 @@
+//! E4–E7 + E11 wall-clock: the four matchers and both baselines, across
+//! sizes and layouts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parmatch_baselines::{randomized_matching, seq_matching};
+use parmatch_bench::SEED;
+use parmatch_core::{match1, match2, match3, match4, CoinVariant, Match3Config};
+use parmatch_list::{blocked_list, random_list, sequential_list, LinkedList};
+use std::hint::black_box;
+
+fn bench_all_matchers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matchers");
+    g.sample_size(15);
+    for e in [16u32, 19] {
+        let n = 1usize << e;
+        let list = random_list(n, SEED);
+        g.throughput(Throughput::Elements(n as u64));
+        let tag = format!("2^{e}");
+        g.bench_with_input(BenchmarkId::new("seq_greedy", &tag), &list, |b, l| {
+            b.iter(|| black_box(seq_matching(l)))
+        });
+        g.bench_with_input(BenchmarkId::new("match1", &tag), &list, |b, l| {
+            b.iter(|| black_box(match1(l, CoinVariant::Msb)))
+        });
+        g.bench_with_input(BenchmarkId::new("match2", &tag), &list, |b, l| {
+            b.iter(|| black_box(match2(l, 2, CoinVariant::Msb)))
+        });
+        g.bench_with_input(BenchmarkId::new("match3", &tag), &list, |b, l| {
+            b.iter(|| black_box(match3(l, Match3Config::default()).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("match4", &tag), &list, |b, l| {
+            b.iter(|| black_box(match4(l, 2)))
+        });
+        g.bench_with_input(BenchmarkId::new("randomized", &tag), &list, |b, l| {
+            b.iter(|| black_box(randomized_matching(l, SEED)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_layout_sensitivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("match4_layouts");
+    g.sample_size(15);
+    let n = 1usize << 18;
+    let layouts: Vec<(&str, LinkedList)> = vec![
+        ("random", random_list(n, SEED)),
+        ("sequential", sequential_list(n)),
+        ("blocked4k", blocked_list(n, 4096, SEED)),
+    ];
+    for (name, list) in &layouts {
+        g.bench_with_input(BenchmarkId::from_parameter(name), list, |b, l| {
+            b.iter(|| black_box(match4(l, 2)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_match4_i_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("match4_i_sweep");
+    g.sample_size(15);
+    let list = random_list(1 << 18, SEED);
+    for i in [1u32, 2, 3, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(i), &i, |b, &i| {
+            b.iter(|| black_box(match4(&list, i)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_all_matchers,
+    bench_layout_sensitivity,
+    bench_match4_i_sweep
+);
+criterion_main!(benches);

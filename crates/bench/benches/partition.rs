@@ -1,0 +1,62 @@
+//! E2/E3 wall-clock: matching partition rounds, MSB vs LSB ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parmatch_bench::SEED;
+use parmatch_core::{pointer_sets, CoinVariant, LabelSeq};
+use parmatch_list::random_list;
+use std::hint::black_box;
+
+fn bench_single_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition_one_round");
+    for e in [14u32, 17, 20] {
+        let n = 1usize << e;
+        let list = random_list(n, SEED);
+        for variant in [CoinVariant::Msb, CoinVariant::Lsb] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{variant:?}"), format!("2^{e}")),
+                &list,
+                |b, list| {
+                    let init = LabelSeq::initial(list, variant);
+                    b.iter(|| black_box(init.relabel(list)));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_rounds_to_convergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition_convergence");
+    g.sample_size(20);
+    for e in [14u32, 18] {
+        let n = 1usize << e;
+        let list = random_list(n, SEED);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("2^{e}")), &list, |b, list| {
+            b.iter(|| {
+                black_box(
+                    LabelSeq::initial(list, CoinVariant::Msb).relabel_to_convergence(list),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_pointer_sets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pointer_sets");
+    let list = random_list(1 << 18, SEED);
+    for rounds in [1u32, 2, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &rounds| {
+            b.iter(|| black_box(pointer_sets(&list, rounds, CoinVariant::Msb)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_round,
+    bench_rounds_to_convergence,
+    bench_pointer_sets
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation: cost of model fidelity — the checked (conflict-detecting)
+//! engine vs the fast engine, and the simulator against the native
+//! implementation of the same algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parmatch_bench::SEED;
+use parmatch_core::pram_impl::match1_pram;
+use parmatch_core::{match1, CoinVariant};
+use parmatch_list::random_list;
+use parmatch_pram::{ExecMode, Machine, Model};
+use std::hint::black_box;
+
+fn bench_engine_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_modes");
+    g.sample_size(10);
+    let list = random_list(1 << 10, SEED);
+    for (name, mode) in [("checked", ExecMode::Checked), ("fast", ExecMode::Fast)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            b.iter(|| black_box(match1_pram(&list, 64, CoinVariant::Msb, mode).unwrap()));
+        });
+    }
+    g.bench_function("native_same_algorithm", |b| {
+        b.iter(|| black_box(match1(&list, CoinVariant::Msb)));
+    });
+    g.finish();
+}
+
+fn bench_raw_step_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("raw_step");
+    for p in [64usize, 1024, 16384] {
+        g.bench_with_input(BenchmarkId::new("fast", p), &p, |b, &p| {
+            let mut m = Machine::new_fast(Model::Erew, p);
+            b.iter(|| {
+                m.step(p, |ctx| {
+                    let v = ctx.read(ctx.pid());
+                    ctx.write(ctx.pid(), v + 1);
+                })
+                .unwrap()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("checked", p), &p, |b, &p| {
+            let mut m = Machine::new(Model::Erew, p);
+            b.iter(|| {
+                m.step(p, |ctx| {
+                    let v = ctx.read(ctx.pid());
+                    ctx.write(ctx.pid(), v + 1);
+                })
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_modes, bench_raw_step_throughput);
+criterion_main!(benches);

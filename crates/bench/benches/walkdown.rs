@@ -1,0 +1,65 @@
+//! E8 wall-clock: grid construction and the WalkDown passes, plus the
+//! ablation "per-column counting sort (Match4) vs global bucket pass
+//! (Match2)" — the paper's central scheduling insight.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parmatch_bench::SEED;
+use parmatch_core::finish::greedy_by_sets;
+use parmatch_core::walkdown::{color_pointers, Grid};
+use parmatch_core::{pointer_sets, CoinVariant};
+use parmatch_list::random_list;
+use std::hint::black_box;
+
+fn bench_grid_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grid_build");
+    for e in [14u32, 18] {
+        let n = 1usize << e;
+        let list = random_list(n, SEED);
+        let ps = pointer_sets(&list, 2, CoinVariant::Msb);
+        let x = ps.bound() as usize;
+        g.bench_with_input(BenchmarkId::from_parameter(format!("2^{e}")), &(), |b, _| {
+            b.iter(|| black_box(Grid::new(&list, &ps, x)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_walkdowns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("walkdown_color");
+    g.sample_size(20);
+    for e in [14u32, 18] {
+        let n = 1usize << e;
+        let list = random_list(n, SEED);
+        let ps = pointer_sets(&list, 2, CoinVariant::Msb);
+        let grid = Grid::new(&list, &ps, ps.bound() as usize);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("2^{e}")), &(), |b, _| {
+            b.iter(|| black_box(color_pointers(&list, &grid)));
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: finish a 2-round partition directly with the set sweep
+/// (Match2's way, many sets) vs reduce to 3 colors with the WalkDowns
+/// first (Match4's way).
+fn bench_finish_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("finish_ablation");
+    g.sample_size(15);
+    let n = 1usize << 18;
+    let list = random_list(n, SEED);
+    let ps = pointer_sets(&list, 2, CoinVariant::Msb);
+    g.bench_function("sweep_all_sets_match2_style", |b| {
+        b.iter(|| black_box(greedy_by_sets(&list, &ps, None)));
+    });
+    let grid = Grid::new(&list, &ps, ps.bound() as usize);
+    g.bench_function("walkdown_then_3_sets_match4_style", |b| {
+        b.iter(|| {
+            let (colors, _) = color_pointers(&list, &grid);
+            black_box(colors)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_grid_build, bench_walkdowns, bench_finish_ablation);
+criterion_main!(benches);

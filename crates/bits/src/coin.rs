@@ -1,0 +1,168 @@
+//! Deterministic coin-tossing primitives.
+//!
+//! The matching partition function of the paper is built from one
+//! operation: given two distinct addresses `a` and `b`, find an index `k`
+//! at which their binary representations differ, together with the value
+//! of `a`'s `k`-th bit. Section 2 defines
+//!
+//! ```text
+//! f(<a,b>) = 2k + a_k,   k = max{ i : the i-th bit of a XOR b is 1 }
+//! ```
+//!
+//! and the appendix notes that the *least* significant differing bit
+//! (`f_1`, used in Han's thesis and in Cole–Vishkin) "gains the advantage
+//! for computing function f at the expense of losing intuition".
+//! Both variants are provided here; the rest of the workspace selects
+//! between them via [`CoinVariant`](crate::coin::CoinVariant).
+
+use crate::Word;
+
+/// Index (counted from the least significant bit, starting at 0) of the
+/// **most** significant bit at which `a` and `b` differ.
+///
+/// This is the function `g(<a,b>) = max{ i : bit i of a XOR b is 1 }` of
+/// Section 2 — the index of the coarsest bisecting line of the array that
+/// the pointer `<a,b>` crosses (Fig. 2 of the paper).
+///
+/// # Panics
+///
+/// Panics if `a == b`: equal addresses differ at no bit. The linked lists
+/// in this workspace never contain a self-pointer, so callers uphold this.
+#[inline]
+pub fn msb_diff(a: Word, b: Word) -> u32 {
+    let x = a ^ b;
+    assert!(x != 0, "msb_diff requires a != b (got {a})");
+    63 - x.leading_zeros()
+}
+
+/// Index of the **least** significant bit at which `a` and `b` differ.
+///
+/// The computational variant preferred by the appendix: it is the value
+/// `k` recovered by the unary-to-binary conversion sequence
+/// `c := a XOR b; c := c XOR (c-1); c := (c+1)/2; k := T[c]`.
+///
+/// # Panics
+///
+/// Panics if `a == b`.
+#[inline]
+pub fn lsb_diff(a: Word, b: Word) -> u32 {
+    let x = a ^ b;
+    assert!(x != 0, "lsb_diff requires a != b (got {a})");
+    x.trailing_zeros()
+}
+
+/// The `k`-th bit of `a` (0 or 1), counted from the least significant bit.
+#[inline]
+pub fn bit_of(a: Word, k: u32) -> Word {
+    (a >> k) & 1
+}
+
+/// Which differing bit the coin-tossing step keys on.
+///
+/// * [`CoinVariant::Msb`] is the definition of Section 2 with the
+///   bisecting-line intuition (Fig. 2).
+/// * [`CoinVariant::Lsb`] is the variant of Han's thesis / Cole–Vishkin
+///   that the appendix recommends for cheap evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CoinVariant {
+    /// Most significant differing bit (`f` of Lemma 1).
+    #[default]
+    Msb,
+    /// Least significant differing bit (`f_1` of the appendix).
+    Lsb,
+}
+
+impl CoinVariant {
+    /// Index of the differing bit selected by this variant.
+    #[inline]
+    pub fn diff_bit(self, a: Word, b: Word) -> u32 {
+        match self {
+            CoinVariant::Msb => msb_diff(a, b),
+            CoinVariant::Lsb => lsb_diff(a, b),
+        }
+    }
+}
+
+/// The isolated least significant set bit of `x` as a one-hot ("unary")
+/// word: the paper's `c := c XOR (c - 1); c := (c + 1) / 2` sequence.
+///
+/// Returns 0 when `x == 0` (no bit set); otherwise exactly one bit is set
+/// in the result.
+#[inline]
+pub fn isolate_lsb(x: Word) -> Word {
+    if x == 0 {
+        return 0;
+    }
+    let c = x ^ (x - 1); // 0..01..1 with the lsb run of x marked
+    (c + 1) >> 1 // one-hot at the lsb position
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msb_diff_basic() {
+        assert_eq!(msb_diff(0b1000, 0b0000), 3);
+        assert_eq!(msb_diff(0b1010, 0b1000), 1);
+        assert_eq!(msb_diff(1, 2), 1);
+        assert_eq!(msb_diff(u64::MAX, 0), 63);
+    }
+
+    #[test]
+    fn lsb_diff_basic() {
+        assert_eq!(lsb_diff(0b1000, 0b0000), 3);
+        assert_eq!(lsb_diff(0b1010, 0b1000), 1);
+        assert_eq!(lsb_diff(1, 2), 0);
+        assert_eq!(lsb_diff(u64::MAX, u64::MAX - 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "msb_diff requires")]
+    fn msb_diff_equal_panics() {
+        msb_diff(7, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "lsb_diff requires")]
+    fn lsb_diff_equal_panics() {
+        lsb_diff(0, 0);
+    }
+
+    #[test]
+    fn bit_of_extracts() {
+        let a = 0b1011_0100u64;
+        let expected = [0u64, 0, 1, 0, 1, 1, 0, 1];
+        for (k, &e) in expected.iter().enumerate() {
+            assert_eq!(bit_of(a, k as u32), e, "bit {k}");
+        }
+    }
+
+    #[test]
+    fn isolate_lsb_is_one_hot() {
+        assert_eq!(isolate_lsb(0), 0);
+        for x in 1u64..4096 {
+            let iso = isolate_lsb(x);
+            assert_eq!(iso.count_ones(), 1);
+            assert_eq!(iso.trailing_zeros(), x.trailing_zeros());
+        }
+    }
+
+    #[test]
+    fn variant_dispatch() {
+        assert_eq!(CoinVariant::Msb.diff_bit(0b1001, 0b0000), 3);
+        assert_eq!(CoinVariant::Lsb.diff_bit(0b1001, 0b0000), 0);
+    }
+
+    #[test]
+    fn diff_bit_symmetric() {
+        for a in 0u64..64 {
+            for b in 0u64..64 {
+                if a != b {
+                    assert_eq!(msb_diff(a, b), msb_diff(b, a));
+                    assert_eq!(lsb_diff(a, b), lsb_diff(b, a));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Iterated logarithms: `log^(i) n`, `G(n)` and `log G(n)`.
+//!
+//! The paper's complexity bounds are stated in terms of
+//!
+//! * `log^(1) n = log n`, `log^(k) n = log(log^(k-1) n)` (base 2), and
+//! * `G(n) = min{ k : log^(k) n < 1 }`,
+//!
+//! and its appendix shows how to *evaluate* these quantities on an EREW
+//! PRAM with a bit-reversal table plus a unary-to-binary conversion table
+//! ("the evaluation of function H should be interpreted as finding a
+//! number m = Θ(H)"). This module provides exact host-side evaluators and
+//! the appendix's table-driven evaluator, tested against each other.
+
+use crate::reversal::BitReversalTable;
+use crate::tables::UnaryToBinaryTable;
+use crate::Word;
+
+/// `⌊log2 n⌋`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[inline]
+pub fn ilog2_floor(n: Word) -> u32 {
+    assert!(n > 0, "log of zero");
+    63 - n.leading_zeros()
+}
+
+/// `⌈log2 n⌉` (0 for `n == 1`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[inline]
+pub fn ilog2_ceil(n: Word) -> u32 {
+    assert!(n > 0, "log of zero");
+    if n == 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+/// Real-valued iterated logarithm `log^(i) n` (base 2).
+///
+/// `iterated_log(n, 0)` is `n` itself; `iterated_log(n, 1) = log2 n`.
+/// The value may be negative or NaN once the iterate drops below 1 and a
+/// further log is taken; callers bounding row counts should use
+/// [`iterated_log_ceil`].
+pub fn iterated_log(n: Word, i: u32) -> f64 {
+    let mut v = n as f64;
+    for _ in 0..i {
+        v = v.log2();
+    }
+    v
+}
+
+/// Integer row-count form of `log^(i) n`: `max(1, ⌈log^(i) n⌉)`.
+///
+/// This is the quantity Match4 uses for its number of rows
+/// `x = log^(i) n`; clamping at 1 keeps the two-dimensional view well
+/// defined once the iterate collapses to a constant.
+pub fn iterated_log_ceil(n: Word, i: u32) -> u64 {
+    if n <= 1 {
+        return 1;
+    }
+    let v = iterated_log(n, i);
+    if !v.is_finite() || v < 1.0 {
+        1
+    } else {
+        v.ceil() as u64
+    }
+}
+
+/// `G(n) = min{ k : log^(k) n < 1 }` — the iterated-log depth.
+///
+/// `G(1) = 1` (one application of log already lands below 1),
+/// `G(2) = 2`, `G(16) = 4`, `G(2^16) = 5`, `G(2^64) ≤ 6`. This is
+/// `log* n` up to the boundary convention.
+pub fn g_of(n: Word) -> u32 {
+    if n == 0 {
+        return 0;
+    }
+    let mut v = n as f64;
+    let mut k = 0u32;
+    loop {
+        v = v.log2();
+        k += 1;
+        if v < 1.0 {
+            return k;
+        }
+        // log2 of anything ≤ 2^64 collapses in ≤ 6 iterations; guard
+        // against FP surprises all the same.
+        assert!(k <= 8, "G(n) failed to converge");
+    }
+}
+
+/// Alias for [`g_of`] under its more common name.
+#[inline]
+pub fn log_star(n: Word) -> u32 {
+    g_of(n)
+}
+
+/// `⌈log2 G(n)⌉`, clamped to at least 1 — the number of
+/// pointer-jumping rounds in step 3 of Match3.
+pub fn log_g(n: Word) -> u32 {
+    let g = g_of(n).max(1);
+    ilog2_ceil(Word::from(g)).max(1)
+}
+
+/// Evaluate `⌊log2 n⌋` with the appendix's instruction sequence:
+/// bit-reverse `n` within `width` bits, isolate the least significant set
+/// bit of the reversal (which mirrors the most significant set bit of
+/// `n`), convert unary→binary via the table, and subtract from the width.
+///
+/// Returns `None` when any table lookup falls outside its range.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n` does not fit in `width` bits.
+pub fn ilog2_via_tables(
+    n: Word,
+    width: u32,
+    rev: &BitReversalTable,
+    unary: &UnaryToBinaryTable,
+) -> Option<u32> {
+    assert!(n > 0, "log of zero");
+    let n_rev = rev.reverse(n, width);
+    let lsb = unary.lsb_index(n_rev)?;
+    Some(width - 1 - lsb)
+}
+
+/// Evaluate `log^(i) n` by `i` successive table-driven logs (the
+/// appendix: "To evaluate log^(i) n, we execute this procedure i times").
+///
+/// Returns the clamped integer iterate (≥ 0); once the value reaches 0 or
+/// 1 further logs keep it at 0.
+pub fn iterated_log_via_tables(
+    n: Word,
+    i: u32,
+    width: u32,
+    rev: &BitReversalTable,
+    unary: &UnaryToBinaryTable,
+) -> Option<u64> {
+    let mut v = n;
+    for _ in 0..i {
+        if v <= 1 {
+            return Some(0);
+        }
+        v = Word::from(ilog2_via_tables(v, width, rev, unary)?);
+    }
+    Some(v)
+}
+
+/// Evaluate `G(n)` by iterating the table-driven log until the value
+/// collapses below 2, counting iterations (the appendix's sequential
+/// `O(G(n))`-time procedure).
+pub fn g_via_tables(
+    n: Word,
+    width: u32,
+    rev: &BitReversalTable,
+    unary: &UnaryToBinaryTable,
+) -> Option<u32> {
+    if n == 0 {
+        return Some(0);
+    }
+    let mut v = n;
+    let mut k = 0u32;
+    loop {
+        if v <= 1 {
+            // log of 1 is 0 < 1: one more application ends the recursion.
+            return Some(k + 1);
+        }
+        v = Word::from(ilog2_via_tables(v, width, rev, unary)?);
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ilog2_floor_and_ceil() {
+        assert_eq!(ilog2_floor(1), 0);
+        assert_eq!(ilog2_floor(2), 1);
+        assert_eq!(ilog2_floor(3), 1);
+        assert_eq!(ilog2_floor(1024), 10);
+        assert_eq!(ilog2_floor(1025), 10);
+        assert_eq!(ilog2_ceil(1), 0);
+        assert_eq!(ilog2_ceil(2), 1);
+        assert_eq!(ilog2_ceil(3), 2);
+        assert_eq!(ilog2_ceil(1024), 10);
+        assert_eq!(ilog2_ceil(1025), 11);
+    }
+
+    #[test]
+    fn ilog2_matches_std() {
+        for n in 1u64..10_000 {
+            assert_eq!(ilog2_floor(n), n.ilog2());
+        }
+    }
+
+    #[test]
+    fn iterated_log_values() {
+        assert!((iterated_log(65536, 1) - 16.0).abs() < 1e-9);
+        assert!((iterated_log(65536, 2) - 4.0).abs() < 1e-9);
+        assert!((iterated_log(65536, 3) - 2.0).abs() < 1e-9);
+        assert!((iterated_log(65536, 4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iterated_log_ceil_clamps() {
+        assert_eq!(iterated_log_ceil(65536, 2), 4);
+        assert_eq!(iterated_log_ceil(65536, 5), 1);
+        assert_eq!(iterated_log_ceil(65536, 20), 1);
+        assert_eq!(iterated_log_ceil(1, 1), 1);
+        assert_eq!(iterated_log_ceil(0, 3), 1);
+        assert_eq!(iterated_log_ceil(1_000_000, 1), 20);
+    }
+
+    #[test]
+    fn g_values() {
+        assert_eq!(g_of(0), 0);
+        assert_eq!(g_of(1), 1);
+        assert_eq!(g_of(2), 2);
+        assert_eq!(g_of(3), 2); // log 3 ≈ 1.58, log again ≈ 0.66 < 1
+        assert_eq!(g_of(16), 4);
+        assert_eq!(g_of(65535), 4);
+        assert_eq!(g_of(65536), 5);
+        assert_eq!(g_of(u64::MAX), 5); // 64 → 6 → 2.58 → 1.37 → 0.45
+        assert_eq!(log_star(65536), g_of(65536));
+    }
+
+    #[test]
+    fn g_is_monotone() {
+        let mut prev = 0;
+        for e in 0..64 {
+            let g = g_of(1u64 << e);
+            assert!(g >= prev, "G not monotone at 2^{e}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn log_g_values() {
+        assert_eq!(log_g(2), 1);
+        assert_eq!(log_g(65536), 3); // G = 5, ceil(log2 5) = 3
+        assert_eq!(log_g(u64::MAX), 3); // G = 5
+    }
+
+    #[test]
+    fn table_driven_log_matches_exact() {
+        let width = 24;
+        let rev = BitReversalTable::new(8);
+        let unary = UnaryToBinaryTable::new(width);
+        for n in 1u64..5000 {
+            assert_eq!(
+                ilog2_via_tables(n, width, &rev, &unary),
+                Some(ilog2_floor(n)),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_driven_iterated_log() {
+        let width = 24;
+        let rev = BitReversalTable::new(8);
+        let unary = UnaryToBinaryTable::new(width);
+        // floor-based iterates: log log 65536 = 4, third iterate 2, fourth 1.
+        assert_eq!(iterated_log_via_tables(65536, 0, width, &rev, &unary), Some(65536));
+        assert_eq!(iterated_log_via_tables(65536, 1, width, &rev, &unary), Some(16));
+        assert_eq!(iterated_log_via_tables(65536, 2, width, &rev, &unary), Some(4));
+        assert_eq!(iterated_log_via_tables(65536, 3, width, &rev, &unary), Some(2));
+        assert_eq!(iterated_log_via_tables(65536, 4, width, &rev, &unary), Some(1));
+        assert_eq!(iterated_log_via_tables(65536, 5, width, &rev, &unary), Some(0));
+    }
+
+    #[test]
+    fn table_driven_g_matches_exact() {
+        let width = 24;
+        let rev = BitReversalTable::new(8);
+        let unary = UnaryToBinaryTable::new(width);
+        // On these values floor-based iteration agrees exactly with the
+        // real-valued G.
+        for n in [1u64, 2, 3, 4, 5, 16, 17, 255, 256, 65535, 65536] {
+            assert_eq!(g_via_tables(n, width, &rev, &unary), Some(g_of(n)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn table_driven_g_within_one_of_exact() {
+        // Floor vs real-valued logs can shift the collapse point by one
+        // iteration (e.g. n = 2^20), never more: the floor iterate is a
+        // lower bound on the real one and one extra log closes the gap.
+        let width = 24;
+        let rev = BitReversalTable::new(8);
+        let unary = UnaryToBinaryTable::new(width);
+        for n in 1u64..(1 << 14) {
+            let gt = g_via_tables(n, width, &rev, &unary).unwrap() as i64;
+            let ge = g_of(n) as i64;
+            assert!((gt - ge).abs() <= 1, "n={n} table={gt} exact={ge}");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Bit-manipulation substrate for the matching-partition algorithms.
+//!
+//! This crate implements the machinery described in the appendix of
+//! Yijie Han, *"Matching Partition a Linked List and Its Optimization"*
+//! (SPAA 1989):
+//!
+//! * XOR-based deterministic coin tossing primitives — finding the most /
+//!   least significant bit at which two addresses differ ([`coin`]);
+//! * unary-to-binary conversion by table lookup, the paper's replacement
+//!   for a hardware "number conversion" instruction ([`tables`]);
+//! * bit-reversal permutation tables, used to compute the
+//!   most-significant-bit variant of the matching partition function from
+//!   the least-significant-bit machinery ([`reversal`]);
+//! * evaluation of the iterated logarithm `log^(i) n`, of
+//!   `G(n) = min{k : log^(k) n < 1}` (the iterated-log depth, `log* n` up
+//!   to an additive constant) and of `log G(n)` ([`iterated_log`]).
+//!
+//! Everything here is exact integer arithmetic on `u64` words; every
+//! table-driven routine has a hardware-instruction twin
+//! (`leading_zeros`/`trailing_zeros`) against which it is tested.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coin;
+pub mod iterated_log;
+pub mod reversal;
+pub mod tables;
+
+pub use coin::{bit_of, lsb_diff, msb_diff};
+pub use iterated_log::{
+    g_of, ilog2_ceil, ilog2_floor, iterated_log, iterated_log_ceil, log_g, log_star,
+};
+pub use reversal::BitReversalTable;
+pub use tables::UnaryToBinaryTable;
+
+/// The word type used throughout the reproduction for addresses and labels.
+pub type Word = u64;

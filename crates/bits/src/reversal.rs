@@ -1,0 +1,191 @@
+//! Bit-reversal permutation tables.
+//!
+//! To compute the most-significant-bit matching partition function
+//! `f^(2)` from least-significant-bit machinery, the appendix proposes
+//! *"a bit reversal permutation table to reverse the bits of a number so
+//! that the most significant bit becomes the least significant bit"*.
+//! The same table drives the appendix's evaluation of `log n`:
+//!
+//! ```text
+//! n' := reverse(n);
+//! n' := n' XOR (n' - 1);
+//! n' := convert(n');        // unary-to-binary
+//! log n := k - n'           // k = word width
+//! ```
+//!
+//! [`BitReversalTable`] holds the permutation for `chunk_bits`-bit chunks
+//! and reverses wider words chunkwise, so the dense table stays small
+//! (2^chunk_bits entries) while full `width`-bit reversals remain O(width /
+//! chunk_bits) — constant for fixed word size, matching the paper's O(1)
+//! per-evaluation budget.
+
+use crate::Word;
+
+/// A bit-reversal permutation table over fixed-width words.
+///
+/// # Examples
+///
+/// ```
+/// use parmatch_bits::BitReversalTable;
+/// let t = BitReversalTable::new(8);
+/// assert_eq!(t.reverse(0b0000_0001, 8), 0b1000_0000);
+/// assert_eq!(t.reverse(0b1100_0000, 8), 0b0000_0011);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitReversalTable {
+    /// `table[v]` = `v` with its low `chunk_bits` bits reversed.
+    table: Vec<u32>,
+    chunk_bits: u32,
+}
+
+impl BitReversalTable {
+    /// Build a table reversing `chunk_bits`-bit chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_bits` is 0 or exceeds 24 (dense-table safety cap).
+    pub fn new(chunk_bits: u32) -> Self {
+        assert!(chunk_bits > 0, "chunk width must be positive");
+        assert!(chunk_bits <= 24, "dense reversal table capped at 24 bits (asked for {chunk_bits})");
+        let size = 1usize << chunk_bits;
+        let mut table = vec![0u32; size];
+        for (v, slot) in table.iter_mut().enumerate() {
+            *slot = reverse_naive(v as u32, chunk_bits);
+        }
+        Self { table, chunk_bits }
+    }
+
+    /// Chunk width of the dense table.
+    #[inline]
+    pub fn chunk_bits(&self) -> u32 {
+        self.chunk_bits
+    }
+
+    /// Reverse the low `width` bits of `x` (higher bits must be zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64, or if `x` has bits set at or
+    /// above `width`.
+    pub fn reverse(&self, x: Word, width: u32) -> Word {
+        assert!(width > 0 && width <= 64, "width must be in 1..=64");
+        if width < 64 {
+            assert!(
+                x >> width == 0,
+                "value {x:#x} does not fit in {width} bits"
+            );
+        }
+        let cb = self.chunk_bits;
+        let mask = (1u64 << cb) - 1;
+        let mut out: Word = 0;
+        let mut consumed = 0u32;
+        let mut rest = x;
+        // Peel chunk_bits-sized pieces off the low end; each reversed chunk
+        // lands at the mirrored position near the high end of `width`.
+        while consumed < width {
+            let take = cb.min(width - consumed);
+            let piece = rest & mask & ((1u64 << take) - 1);
+            // reverse `take` bits of the piece via the cb-bit table:
+            // reverse cb bits, then shift out the (cb - take) zeros that
+            // ended up at the low end.
+            let rev = Word::from(self.table[piece as usize]) >> (cb - take);
+            out |= rev << (width - consumed - take);
+            rest >>= take;
+            consumed += take;
+        }
+        out
+    }
+}
+
+/// Bit-by-bit reversal of the low `width` bits of `v` (reference
+/// implementation used to build and test the table).
+fn reverse_naive(v: u32, width: u32) -> u32 {
+    let mut out = 0u32;
+    for i in 0..width {
+        if v & (1 << i) != 0 {
+            out |= 1 << (width - 1 - i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_naive_within_chunk() {
+        let t = BitReversalTable::new(8);
+        for v in 0u64..256 {
+            assert_eq!(t.reverse(v, 8), Word::from(reverse_naive(v as u32, 8)));
+        }
+    }
+
+    #[test]
+    fn reverse_is_involution() {
+        let t = BitReversalTable::new(8);
+        for width in [1u32, 3, 8, 13, 16, 21, 32, 47, 64] {
+            for seed in [0u64, 1, 0xDEADBEEF, 0x0123_4567_89AB_CDEF] {
+                let x = if width == 64 { seed } else { seed & ((1 << width) - 1) };
+                assert_eq!(t.reverse(t.reverse(x, width), width), x, "width={width} x={x:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_matches_hardware_reverse_bits() {
+        let t = BitReversalTable::new(8);
+        for seed in [1u64, 2, 0xFF, 0xABCD_EF01_2345_6789, u64::MAX] {
+            assert_eq!(t.reverse(seed, 64), seed.reverse_bits());
+        }
+    }
+
+    #[test]
+    fn reverse_narrow_widths() {
+        let t = BitReversalTable::new(8);
+        assert_eq!(t.reverse(0b1, 1), 0b1);
+        assert_eq!(t.reverse(0b01, 2), 0b10);
+        assert_eq!(t.reverse(0b001, 3), 0b100);
+        assert_eq!(t.reverse(0b000_0000_0101, 11), 0b101_0000_0000);
+    }
+
+    #[test]
+    fn reverse_with_small_chunk_table() {
+        let t4 = BitReversalTable::new(4);
+        let t8 = BitReversalTable::new(8);
+        for x in (0u64..(1 << 12)).step_by(7) {
+            assert_eq!(t4.reverse(x, 12), t8.reverse(x, 12), "x={x:#b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        BitReversalTable::new(8).reverse(1 << 10, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be")]
+    fn zero_width_panics() {
+        BitReversalTable::new(8).reverse(0, 0);
+    }
+
+    #[test]
+    fn msb_via_reversal_equals_msb_diff() {
+        // The appendix's route to the MSB variant: reverse, take the lsb.
+        use crate::coin::{lsb_diff, msb_diff};
+        let t = BitReversalTable::new(8);
+        let width = 16;
+        for a in (0u64..1 << 10).step_by(3) {
+            for b in (0u64..1 << 10).step_by(5) {
+                if a == b {
+                    continue;
+                }
+                let ra = t.reverse(a, width);
+                let rb = t.reverse(b, width);
+                let via_rev = width - 1 - lsb_diff(ra, rb);
+                assert_eq!(via_rev, msb_diff(a, b), "a={a:#b} b={b:#b}");
+            }
+        }
+    }
+}

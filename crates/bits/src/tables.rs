@@ -1,0 +1,224 @@
+//! Unary-to-binary conversion by table lookup.
+//!
+//! The appendix of the paper observes that the key step in evaluating the
+//! matching partition function is *"the operation of converting a unary
+//! number to a binary number"* — i.e. mapping a one-hot word `2^k` to the
+//! exponent `k` — and offers two realizations: build the conversion into
+//! the processor as an instruction, or use a lookup table `T` with
+//! "only log n entries which are useful".
+//!
+//! [`UnaryToBinaryTable`] is that table: a dense array indexed by the
+//! one-hot value, sized for addresses below a configured bound, exactly as
+//! a PRAM would hold it in shared memory (one copy per processor on the
+//! EREW model; the space bound `O(p log n)` quoted by the paper counts
+//! only the useful entries — the dense index is the natural array
+//! realization). A hardware twin (`trailing_zeros`) is used to cross-check
+//! it in tests and serves as the "built-in instruction" alternative.
+
+use crate::coin::isolate_lsb;
+use crate::Word;
+
+/// Lookup table converting a one-hot ("unary") word `2^k`, `k < bits`,
+/// to the binary exponent `k`.
+///
+/// This is the table `T` of the paper's appendix. Construction costs
+/// `O(2^bits)` time and space for the dense index; `bits` is the address
+/// width of the linked list (`⌈log n⌉`), so for an `n`-node list the
+/// table occupies `O(n)` words — the same asymptotic space as the list
+/// itself, matching the paper's preprocessing budget.
+///
+/// # Examples
+///
+/// ```
+/// use parmatch_bits::UnaryToBinaryTable;
+/// let t = UnaryToBinaryTable::new(10);
+/// assert_eq!(t.convert(1 << 7), Some(7));
+/// assert_eq!(t.lsb_index(0b1010_0000), Some(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnaryToBinaryTable {
+    /// `table[v] = k` iff `v == 2^k`; `u8::MAX` marks useless entries.
+    table: Vec<u8>,
+    bits: u32,
+}
+
+const UNUSED: u8 = u8::MAX;
+
+impl UnaryToBinaryTable {
+    /// Build a conversion table covering exponents `0..bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0` or `bits > 32` (a dense table above 2^32
+    /// entries is not a sensible realization; use wider chunking or the
+    /// hardware instruction instead).
+    pub fn new(bits: u32) -> Self {
+        assert!(bits > 0, "table must cover at least one exponent");
+        assert!(bits <= 32, "dense unary table limited to 32 bits (asked for {bits})");
+        let mut table = vec![UNUSED; 1usize << bits];
+        for k in 0..bits {
+            table[1usize << k] = k as u8;
+        }
+        Self { table, bits }
+    }
+
+    /// Number of bit positions (exponents) the table covers.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Convert the one-hot word `2^k` to `k`.
+    ///
+    /// Returns `None` if `v` is not a one-hot word within range — such
+    /// cells are the "useless" entries the paper mentions.
+    #[inline]
+    pub fn convert(&self, v: Word) -> Option<u32> {
+        let idx = usize::try_from(v).ok()?;
+        match self.table.get(idx) {
+            Some(&k) if k != UNUSED => Some(u32::from(k)),
+            _ => None,
+        }
+    }
+
+    /// Index of the least significant set bit of `x`, computed by the
+    /// appendix's instruction sequence
+    /// `c := x XOR (x-1); c := (c+1)/2; k := T[c]`.
+    ///
+    /// Returns `None` if `x == 0` or `x`'s low set bit is outside the
+    /// table's range.
+    #[inline]
+    pub fn lsb_index(&self, x: Word) -> Option<u32> {
+        let iso = isolate_lsb(x);
+        if iso == 0 {
+            None
+        } else {
+            self.convert(iso)
+        }
+    }
+
+    /// Memory footprint of the dense table in words (diagnostic; the
+    /// paper's accounting counts the `log n` useful entries only).
+    #[inline]
+    pub fn dense_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The appendix's complete evaluation of the matching partition
+    /// function `f₁^(2)(a,b) = 2k + a_k`, `k = min{ i : bit i of a XOR b
+    /// is 1 }`, by its exact instruction sequence:
+    ///
+    /// ```text
+    /// c := a XOR b;
+    /// c := c XOR (c - 1);
+    /// c := (c + 1) / 2;     // unary (one-hot) k
+    /// k := T[c];            // the table lookup
+    /// f := 2k + a_k
+    /// ```
+    ///
+    /// Returns `None` if `a == b` or `k` falls outside the table.
+    pub fn f_lsb(&self, a: Word, b: Word) -> Option<Word> {
+        if a == b {
+            return None;
+        }
+        let k = self.lsb_index(a ^ b)?;
+        Some(2 * Word::from(k) + ((a >> k) & 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converts_all_one_hot_words() {
+        let t = UnaryToBinaryTable::new(16);
+        for k in 0..16u32 {
+            assert_eq!(t.convert(1u64 << k), Some(k));
+        }
+    }
+
+    #[test]
+    fn rejects_non_one_hot() {
+        let t = UnaryToBinaryTable::new(8);
+        assert_eq!(t.convert(0), None);
+        assert_eq!(t.convert(3), None);
+        assert_eq!(t.convert(0b101), None);
+        assert_eq!(t.convert(1 << 8), None); // out of range
+        assert_eq!(t.convert(u64::MAX), None);
+    }
+
+    #[test]
+    fn lsb_index_matches_hardware() {
+        let t = UnaryToBinaryTable::new(20);
+        for x in 1u64..(1 << 12) {
+            assert_eq!(t.lsb_index(x), Some(x.trailing_zeros()), "x={x:#b}");
+        }
+    }
+
+    #[test]
+    fn lsb_index_zero_is_none() {
+        let t = UnaryToBinaryTable::new(8);
+        assert_eq!(t.lsb_index(0), None);
+    }
+
+    #[test]
+    fn lsb_index_out_of_range() {
+        let t = UnaryToBinaryTable::new(4);
+        // lsb of 2^5 is outside a 4-bit table
+        assert_eq!(t.lsb_index(1 << 5), None);
+        // but a word with a low set bit within range converts fine
+        assert_eq!(t.lsb_index((1 << 5) | (1 << 2)), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one exponent")]
+    fn zero_bits_panics() {
+        UnaryToBinaryTable::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 32 bits")]
+    fn too_wide_panics() {
+        UnaryToBinaryTable::new(33);
+    }
+
+    #[test]
+    fn f_lsb_matches_direct_formula() {
+        let t = UnaryToBinaryTable::new(16);
+        for a in 0u64..256 {
+            for b in 0u64..256 {
+                if a == b {
+                    assert_eq!(t.f_lsb(a, b), None);
+                } else {
+                    let k = (a ^ b).trailing_zeros();
+                    let expect = 2 * u64::from(k) + ((a >> k) & 1);
+                    assert_eq!(t.f_lsb(a, b), Some(expect), "a={a} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f_lsb_is_a_matching_partition_function() {
+        let t = UnaryToBinaryTable::new(8);
+        for a in 0u64..32 {
+            for b in 0u64..32 {
+                for c in 0u64..32 {
+                    if a != b && b != c {
+                        assert_ne!(t.f_lsb(a, b), t.f_lsb(b, c), "a={a} b={b} c={c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn useful_entries_are_log_n() {
+        let t = UnaryToBinaryTable::new(12);
+        let useful = (0..t.dense_len())
+            .filter(|&v| t.convert(v as Word).is_some())
+            .count();
+        assert_eq!(useful, 12);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for the bit-manipulation substrate.
+
+use parmatch_bits::{
+    bit_of, g_of, ilog2_ceil, ilog2_floor, iterated_log_ceil, lsb_diff, msb_diff,
+    BitReversalTable, UnaryToBinaryTable,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// msb_diff/lsb_diff really return differing bit indices, and they
+    /// bracket every other differing bit.
+    #[test]
+    fn diff_bits_are_extremal(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let hi = msb_diff(a, b);
+        let lo = lsb_diff(a, b);
+        prop_assert!(lo <= hi);
+        prop_assert_ne!(bit_of(a, hi), bit_of(b, hi));
+        prop_assert_ne!(bit_of(a, lo), bit_of(b, lo));
+        // no differing bit above hi or below lo
+        let x = a ^ b;
+        prop_assert_eq!(x >> hi, 1);
+        prop_assert_eq!(x & ((1u64 << lo) - 1).wrapping_sub(0), x & ((1u64.checked_shl(lo).unwrap_or(0)).wrapping_sub(1)));
+    }
+
+    /// Reversal is an involution at any width, for any in-range value.
+    #[test]
+    fn reversal_involution(x in any::<u64>(), width in 1u32..=64) {
+        let t = BitReversalTable::new(8);
+        let v = if width == 64 { x } else { x & ((1u64 << width) - 1) };
+        prop_assert_eq!(t.reverse(t.reverse(v, width), width), v);
+    }
+
+    /// Reversal maps bit i to bit width-1-i.
+    #[test]
+    fn reversal_maps_bits(i in 0u32..64, width in 1u32..=64) {
+        prop_assume!(i < width);
+        let t = BitReversalTable::new(8);
+        prop_assert_eq!(t.reverse(1u64 << i, width), 1u64 << (width - 1 - i));
+    }
+
+    /// Table lookup of the lsb agrees with the hardware instruction.
+    #[test]
+    fn unary_table_matches_hardware(x in 1u64..(1 << 24)) {
+        let t = UnaryToBinaryTable::new(24);
+        prop_assert_eq!(t.lsb_index(x), Some(x.trailing_zeros()));
+    }
+
+    /// Floor/ceil logs bracket the real log.
+    #[test]
+    fn log_floor_ceil_bracket(n in 1u64..u64::MAX) {
+        let f = ilog2_floor(n);
+        let c = ilog2_ceil(n);
+        prop_assert!(f <= c);
+        prop_assert!(c - f <= 1);
+        prop_assert!(1u64.checked_shl(f).unwrap() <= n);
+        if c < 64 {
+            prop_assert!(n <= 1u64 << c);
+        }
+    }
+
+    /// G is tiny and iterated_log_ceil collapses to 1 at depth G.
+    #[test]
+    fn g_collapses_iterated_log(n in 2u64..u64::MAX) {
+        let g = g_of(n);
+        prop_assert!(g <= 5, "G(n) must be at most 5 for 64-bit n");
+        prop_assert_eq!(iterated_log_ceil(n, g), 1);
+    }
+
+    /// Monotonicity of the iterated log in the iteration count.
+    #[test]
+    fn iterated_log_monotone_in_i(n in 2u64..u64::MAX, i in 0u32..6) {
+        prop_assert!(iterated_log_ceil(n, i) >= iterated_log_ceil(n, i + 1));
+    }
+}

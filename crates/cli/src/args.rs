@@ -1,0 +1,150 @@
+//! Minimal argument parsing.
+//!
+//! Hand-rolled on purpose: the reproduction's dependency set is fixed
+//! (see DESIGN.md), and the surface is small — `--key value`,
+//! `--key=value` and bare `--flag` switches after one subcommand.
+
+use std::collections::HashMap;
+
+/// Parsed command line: one subcommand plus options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    opts: HashMap<String, String>,
+}
+
+/// Errors from parsing or option lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A token that is neither an option nor an expected value.
+    Unexpected(String),
+    /// `--key` given without a value where one is required.
+    MissingValue(String),
+    /// Required option absent.
+    Missing(String),
+    /// Value failed to parse.
+    BadValue {
+        /// Option name.
+        key: String,
+        /// Raw value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::Unexpected(t) => write!(f, "unexpected argument {t:?}"),
+            ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgError::Missing(k) => write!(f, "required option --{k} missing"),
+            ArgError::BadValue { key, value } => {
+                write!(f, "option --{key} has invalid value {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse option tokens (everything after the subcommand).
+    ///
+    /// Bare `--flag` switches are stored with the value `"true"`.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgError> {
+        let mut opts = HashMap::new();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(ArgError::Unexpected(tok));
+            };
+            if let Some((k, v)) = key.split_once('=') {
+                opts.insert(k.to_string(), v.to_string());
+            } else if iter
+                .peek()
+                .map(|nxt| !nxt.starts_with("--"))
+                .unwrap_or(false)
+            {
+                let v = iter.next().expect("peeked");
+                opts.insert(key.to_string(), v);
+            } else {
+                opts.insert(key.to_string(), "true".to_string());
+            }
+        }
+        Ok(Self { opts })
+    }
+
+    /// Raw string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.opts.get(key).map(String::as_str)
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key).ok_or_else(|| ArgError::Missing(key.to_string()))
+    }
+
+    /// Typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: key.to_string(),
+                value: v.to_string(),
+            }),
+        }
+    }
+
+    /// Required typed option.
+    pub fn require_as<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
+        let v = self.require(key)?;
+        v.parse().map_err(|_| ArgError::BadValue {
+            key: key.to_string(),
+            value: v.to_string(),
+        })
+    }
+
+    /// Boolean switch (`--flag` or `--flag true`).
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1") | Some("yes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn key_value_styles() {
+        let a = parse("--n 100 --seed=7 --verify");
+        assert_eq!(a.get("n"), Some("100"));
+        assert_eq!(a.get("seed"), Some("7"));
+        assert!(a.flag("verify"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.get_or::<usize>("n", 0).unwrap(), 100);
+        assert_eq!(a.get_or::<usize>("p", 4).unwrap(), 4);
+        assert_eq!(a.require_as::<u64>("seed").unwrap(), 7);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            Args::parse(vec!["oops".to_string()]).unwrap_err(),
+            ArgError::Unexpected("oops".to_string())
+        );
+        let a = parse("--n ten");
+        assert!(matches!(
+            a.require_as::<usize>("n"),
+            Err(ArgError::BadValue { .. })
+        ));
+        assert!(matches!(a.require("seed"), Err(ArgError::Missing(_))));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ArgError::Missing("n".into()).to_string().contains("--n"));
+        assert!(ArgError::MissingValue("x".into()).to_string().contains("--x"));
+    }
+}

@@ -1,0 +1,414 @@
+//! Subcommand implementations.
+
+use crate::args::{ArgError, Args};
+use parmatch_core::pram_impl::{
+    match1_pram, match2_pram, match3_pram, match4_pram, rank_pram, wyllie_pram,
+};
+use parmatch_core::{
+    match1, match2, match3, match4_with, verify, CoinVariant, Match3Config, Matching,
+};
+use parmatch_list::{
+    bit_reversal_list, blocked_list, from_text, random_list, reversed_list, sequential_list,
+    strided_list, to_text, validate, LinkedList,
+};
+use parmatch_pram::ExecMode;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+parmatch — maximal matching of linked lists (Han, SPAA 1989)
+
+USAGE: parmatch <command> [options]
+
+COMMANDS
+  gen     --kind random|seq|rev|blocked|strided|bitrev --n N
+          [--seed S] [--block B] [--stride K]
+          Print a list in the text format.
+  match   --algo seq|match1|match2|match3|match4|random
+          (--input FILE | --n N [--seed S])
+          [--i I] [--rounds K] [--variant msb|lsb] [--verify]
+          Compute a maximal matching; print a summary.
+  rank    (--input FILE | --n N [--seed S])
+          [--algo contraction|cascade|wyllie] [--i I] [--check]
+  color   (--input FILE | --n N [--seed S]) [--algo matching|cv]
+  mis     (--input FILE | --n N [--seed S])
+  steps   --algo match1|match2|match3|match4|wyllie|rank
+          --n N [--p P] [--i I] [--rounds K] [--checked]
+          Simulated PRAM step counts.
+  verify  --input FILE
+          Structural validation of a list file.
+";
+
+/// CLI failure: message plus whether usage should be shown.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Print [`USAGE`] after the message.
+    pub show_usage: bool,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl CliError {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into(), show_usage: false }
+    }
+
+    fn usage(message: impl Into<String>) -> Self {
+        Self { message: message.into(), show_usage: true }
+    }
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::usage(e.to_string())
+    }
+}
+
+/// Dispatch a full argument vector (without the program name).
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let Some(cmd) = argv.first() else {
+        return Err(CliError::usage("no command given"));
+    };
+    let args = Args::parse(argv[1..].to_vec())?;
+    match cmd.as_str() {
+        "gen" => cmd_gen(&args),
+        "match" => cmd_match(&args),
+        "rank" => cmd_rank(&args),
+        "color" => cmd_color(&args),
+        "mis" => cmd_mis(&args),
+        "steps" => cmd_steps(&args),
+        "verify" => cmd_verify(&args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::usage(format!("unknown command {other:?}"))),
+    }
+}
+
+fn variant_of(args: &Args) -> Result<CoinVariant, CliError> {
+    match args.get("variant").unwrap_or("msb") {
+        "msb" => Ok(CoinVariant::Msb),
+        "lsb" => Ok(CoinVariant::Lsb),
+        other => Err(CliError::new(format!("unknown variant {other:?} (msb|lsb)"))),
+    }
+}
+
+/// Load `--input FILE`, or generate `--n N [--seed S]` (random layout).
+fn list_of(args: &Args) -> Result<LinkedList, CliError> {
+    if let Some(path) = args.get("input") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
+        return from_text(&text).map_err(|e| CliError::new(format!("{path}: {e}")));
+    }
+    let n: usize = args.require_as("n")?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    Ok(random_list(n, seed))
+}
+
+fn cmd_gen(args: &Args) -> Result<String, CliError> {
+    let n: usize = args.require_as("n")?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let list = match args.get("kind").unwrap_or("random") {
+        "random" => random_list(n, seed),
+        "seq" => sequential_list(n),
+        "rev" => reversed_list(n),
+        "blocked" => blocked_list(n, args.get_or("block", 4096)?, seed),
+        "strided" => strided_list(n, args.get_or("stride", 1)?),
+        "bitrev" => bit_reversal_list(n),
+        other => return Err(CliError::new(format!("unknown kind {other:?}"))),
+    };
+    Ok(to_text(&list))
+}
+
+fn summarize(list: &LinkedList, m: &Matching, verified: bool, extra: &str) -> String {
+    let mut out = format!(
+        "matched {} of {} pointers ({:.1}%){}",
+        m.len(),
+        list.pointer_count(),
+        if list.pointer_count() == 0 {
+            0.0
+        } else {
+            100.0 * m.len() as f64 / list.pointer_count() as f64
+        },
+        extra,
+    );
+    if verified {
+        out.push_str("\nverified: matching ✓ maximal ✓");
+    }
+    out.push('\n');
+    out
+}
+
+fn cmd_match(args: &Args) -> Result<String, CliError> {
+    let list = list_of(args)?;
+    let variant = variant_of(args)?;
+    let (m, extra) = match args.get("algo").unwrap_or("match4") {
+        "seq" => (parmatch_baselines::seq_matching(&list), String::new()),
+        "random" => {
+            let out = parmatch_baselines::randomized_matching(&list, args.get_or("seed", 42)?);
+            (out.matching, format!(" in {} coin rounds", out.rounds))
+        }
+        "match1" => {
+            let out = match1(&list, variant);
+            (out.matching, format!(" in {} f-rounds (bound {})", out.rounds, out.final_bound))
+        }
+        "match2" => {
+            let out = match2(&list, args.get_or("rounds", 2)?, variant);
+            (
+                out.matching,
+                format!(" via {} matching sets", out.partition.distinct_sets()),
+            )
+        }
+        "match3" => {
+            let cfg = Match3Config {
+                crunch_rounds: args.get_or("rounds", 3)?,
+                variant,
+                ..Match3Config::default()
+            };
+            let out = match3(&list, cfg).map_err(|e| CliError::new(e.to_string()))?;
+            (
+                out.matching,
+                format!(" via a 2^{}-entry table, {} jumps", out.table_bits, out.jump_rounds),
+            )
+        }
+        "match4" => {
+            let out = match4_with(&list, args.get_or("i", 2)?, variant);
+            (
+                out.matching,
+                format!(" on a {}×{} grid, {} walk rounds", out.rows, out.cols, out.walk_rounds),
+            )
+        }
+        other => return Err(CliError::new(format!("unknown algo {other:?}"))),
+    };
+    let verified = args.flag("verify");
+    if verified {
+        if !verify::is_matching(&list, &m) {
+            return Err(CliError::new("OUTPUT IS NOT A MATCHING"));
+        }
+        if !verify::is_maximal(&list, &m) {
+            return Err(CliError::new("MATCHING IS NOT MAXIMAL"));
+        }
+    }
+    Ok(summarize(&list, &m, verified, &extra))
+}
+
+fn cmd_rank(args: &Args) -> Result<String, CliError> {
+    let list = list_of(args)?;
+    let i: u32 = args.get_or("i", 2)?;
+    let (ranks, extra) = match args.get("algo").unwrap_or("contraction") {
+        "contraction" => {
+            let out = parmatch_apps::rank_by_contraction(&list, i, CoinVariant::Msb);
+            (out.ranks, format!("{} levels, {} node-visits", out.levels, out.work))
+        }
+        "cascade" => {
+            let out = parmatch_apps::rank_accelerated(&list, i, CoinVariant::Msb);
+            (
+                out.ranks,
+                format!(
+                    "{} levels, switch at {}, {} node-visits",
+                    out.contract_levels, out.switch_size, out.work
+                ),
+            )
+        }
+        "wyllie" => {
+            let out = parmatch_baselines::wyllie_ranks(&list);
+            (out.ranks, format!("{} rounds, {} node-visits", out.rounds, out.work))
+        }
+        other => return Err(CliError::new(format!("unknown algo {other:?}"))),
+    };
+    let mut out = format!("ranked {} nodes: {extra}", list.len());
+    if args.flag("check") {
+        if ranks != list.ranks_seq() {
+            return Err(CliError::new("RANKS DO NOT MATCH THE SEQUENTIAL WALK"));
+        }
+        out.push_str("\nchecked against the sequential walk ✓");
+    }
+    out.push('\n');
+    Ok(out)
+}
+
+fn cmd_color(args: &Args) -> Result<String, CliError> {
+    let list = list_of(args)?;
+    let colors = match args.get("algo").unwrap_or("matching") {
+        "matching" => {
+            parmatch_apps::color3::color3_via_match4(&list, args.get_or("i", 2)?, CoinVariant::Msb)
+        }
+        "cv" => parmatch_baselines::cv_color3(&list, CoinVariant::Msb).colors,
+        other => return Err(CliError::new(format!("unknown algo {other:?}"))),
+    };
+    if !parmatch_baselines::cv::node_coloring_is_proper(&list, &colors, 3) {
+        return Err(CliError::new("COLORING IS NOT PROPER"));
+    }
+    let mut class = [0usize; 3];
+    for &c in &colors {
+        class[c as usize] += 1;
+    }
+    Ok(format!(
+        "3-colored {} nodes: classes {} / {} / {} (verified proper)\n",
+        list.len(),
+        class[0],
+        class[1],
+        class[2]
+    ))
+}
+
+fn cmd_mis(args: &Args) -> Result<String, CliError> {
+    let list = list_of(args)?;
+    let sel = parmatch_apps::mis_via_match4(&list, args.get_or("i", 2)?, CoinVariant::Msb);
+    if !parmatch_apps::is_maximal_independent_set(&list, &sel) {
+        return Err(CliError::new("SET IS NOT A MAXIMAL INDEPENDENT SET"));
+    }
+    let k = sel.iter().filter(|&&b| b).count();
+    Ok(format!(
+        "maximal independent set of {k} / {} nodes ({:.1}%, verified)\n",
+        list.len(),
+        if list.is_empty() { 0.0 } else { 100.0 * k as f64 / list.len() as f64 }
+    ))
+}
+
+fn cmd_steps(args: &Args) -> Result<String, CliError> {
+    let n: usize = args.require_as("n")?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let list = random_list(n, seed);
+    let p: usize = args.get_or("p", 64)?;
+    let i: u32 = args.get_or("i", 2)?;
+    let mode = if args.flag("checked") { ExecMode::Checked } else { ExecMode::Fast };
+    let err = |e: parmatch_pram::PramError| CliError::new(e.to_string());
+    let (stats, extra) = match args.require("algo")? {
+        "match1" => {
+            let out = match1_pram(&list, p, CoinVariant::Msb, mode).map_err(err)?;
+            (out.stats, format!("{} f-rounds", out.relabel_rounds))
+        }
+        "match2" => {
+            let out =
+                match2_pram(&list, p, args.get_or("rounds", 2)?, CoinVariant::Msb, mode)
+                    .map_err(err)?;
+            (out.stats, format!("{} sort steps", out.sort_steps))
+        }
+        "match3" => {
+            let out = match3_pram(&list, p, Match3Config::default(), mode)
+                .map_err(|e| CliError::new(e.to_string()))?;
+            (out.stats, format!("{} broadcast steps", out.broadcast_steps))
+        }
+        "match4" => {
+            let out = match4_pram(&list, i, None, CoinVariant::Msb, mode).map_err(err)?;
+            (out.stats, format!("grid {}×{}", out.rows, out.cols))
+        }
+        "wyllie" => {
+            let out = wyllie_pram(&list, p, mode).map_err(err)?;
+            (out.stats, format!("{} rounds", out.rounds))
+        }
+        "rank" => {
+            let out = rank_pram(&list, i, mode).map_err(err)?;
+            (out.stats, format!("{} levels, switch at {}", out.levels, out.switch_size))
+        }
+        other => return Err(CliError::new(format!("unknown algo {other:?}"))),
+    };
+    Ok(format!(
+        "n={n} p={p}: steps={} work={} ({extra})\n",
+        stats.steps, stats.work
+    ))
+}
+
+fn cmd_verify(args: &Args) -> Result<String, CliError> {
+    let path = args.require("input")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
+    let list = from_text(&text).map_err(|e| CliError::new(format!("{path}: {e}")))?;
+    validate(&list).map_err(|e| CliError::new(format!("{path}: invalid list: {e}")))?;
+    Ok(format!(
+        "{path}: valid {}-node list, head {}, {} pointers\n",
+        list.len(),
+        list.head(),
+        list.pointer_count()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(line: &str) -> Result<String, CliError> {
+        run(&line.split_whitespace().map(String::from).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn gen_roundtrips_through_verify() {
+        let text = cli("gen --kind random --n 50 --seed 3").unwrap();
+        let list = from_text(&text).unwrap();
+        assert_eq!(list.len(), 50);
+        for kind in ["seq", "rev", "blocked", "bitrev"] {
+            let t = cli(&format!("gen --kind {kind} --n 64")).unwrap();
+            assert!(from_text(&t).is_ok(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn match_all_algorithms_verified() {
+        for algo in ["seq", "match1", "match2", "match3", "match4", "random"] {
+            let out = cli(&format!("match --algo {algo} --n 500 --seed 1 --verify")).unwrap();
+            assert!(out.contains("verified"), "{algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn rank_all_algorithms_checked() {
+        for algo in ["contraction", "cascade", "wyllie"] {
+            let out = cli(&format!("rank --algo {algo} --n 400 --seed 2 --check")).unwrap();
+            assert!(out.contains("checked"), "{algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn color_and_mis() {
+        let out = cli("color --n 300 --seed 5").unwrap();
+        assert!(out.contains("verified proper"));
+        let out = cli("color --n 300 --seed 5 --algo cv").unwrap();
+        assert!(out.contains("verified proper"));
+        let out = cli("mis --n 300 --seed 5").unwrap();
+        assert!(out.contains("verified"));
+    }
+
+    #[test]
+    fn steps_all_algorithms() {
+        for algo in ["match1", "match2", "match3", "match4", "wyllie", "rank"] {
+            let out = cli(&format!("steps --algo {algo} --n 256 --p 16")).unwrap();
+            assert!(out.contains("steps="), "{algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(cli("").is_err());
+        assert!(cli("bogus").unwrap_err().show_usage);
+        assert!(cli("match --algo nope --n 10").is_err());
+        assert!(cli("gen --kind random").is_err(), "missing --n");
+        assert!(cli("verify --input /no/such/file").is_err());
+        assert!(cli("match --n ten").is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(cli("help").unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("parmatch-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("list.txt");
+        let text = cli("gen --kind random --n 80 --seed 9").unwrap();
+        std::fs::write(&path, text).unwrap();
+        let p = path.to_str().unwrap();
+        let out = cli(&format!("verify --input {p}")).unwrap();
+        assert!(out.contains("valid 80-node list"));
+        let out = cli(&format!("match --algo match4 --input {p} --verify")).unwrap();
+        assert!(out.contains("verified"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,25 @@
+//! `parmatch` — the command-line face of the reproduction.
+//!
+//! ```text
+//! parmatch gen    --kind random --n 100000 --seed 7          > list.txt
+//! parmatch match  --algo match4 --input list.txt --verify
+//! parmatch match  --algo match2 --n 100000 --seed 7 --verify
+//! parmatch rank   --n 100000 --seed 7 --algo cascade --check
+//! parmatch color  --n 100000 --seed 7 --algo matching
+//! parmatch mis    --n 100000 --seed 7
+//! parmatch steps  --algo match4 --n 4096 --i 2
+//! parmatch verify --input list.txt
+//! ```
+//!
+//! All commands are pure functions over their inputs (`run` returns the
+//! output text), so the whole surface is unit-tested without spawning
+//! processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{run, CliError, USAGE};

@@ -1,0 +1,15 @@
+//! Thin binary wrapper around [`parmatch_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parmatch_cli::run(&argv) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            if e.show_usage {
+                eprintln!("\n{}", parmatch_cli::USAGE);
+            }
+            std::process::exit(2);
+        }
+    }
+}

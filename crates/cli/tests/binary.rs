@@ -1,0 +1,54 @@
+//! End-to-end tests of the actual `parmatch` binary.
+
+use std::process::Command;
+
+fn parmatch(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_parmatch"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn match_verify_succeeds() {
+    let out = parmatch(&["match", "--algo", "match4", "--n", "2000", "--seed", "3", "--verify"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("verified: matching ✓ maximal ✓"), "{stdout}");
+}
+
+#[test]
+fn gen_pipes_into_match() {
+    let gen = parmatch(&["gen", "--kind", "bitrev", "--n", "256"]);
+    assert!(gen.status.success());
+    let dir = std::env::temp_dir().join("parmatch-bin-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bitrev.txt");
+    std::fs::write(&path, &gen.stdout).unwrap();
+    let out = parmatch(&["match", "--algo", "match2", "--input", path.to_str().unwrap(), "--verify"]);
+    assert!(out.status.success(), "{out:?}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_usage_exits_2_with_usage() {
+    let out = parmatch(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
+fn help_exits_0() {
+    let out = parmatch(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("COMMANDS"));
+}
+
+#[test]
+fn steps_reports_counts() {
+    let out = parmatch(&["steps", "--algo", "match4", "--n", "512", "--i", "2"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("steps=") && stdout.contains("work="), "{stdout}");
+}

@@ -1,0 +1,108 @@
+//! The paper's analytic step-count predictions.
+//!
+//! The experiment harness compares *measured* simulator step counts
+//! against these leading-order forms; reproduction means the measured
+//! curves track the predicted ones in shape (constant factors are
+//! implementation artifacts the paper does not fix).
+
+use parmatch_bits::{g_of, ilog2_ceil, iterated_log_ceil, log_g};
+
+/// `⌈n/p⌉` — the per-round cost of a parallel loop over `n` items with
+/// `p` processors.
+#[inline]
+pub fn rounds_per_sweep(n: u64, p: u64) -> u64 {
+    n.div_ceil(p.max(1))
+}
+
+/// Match1 (Lemma 3): `O(n·G(n)/p + G(n))`.
+pub fn match1_predicted(n: u64, p: u64) -> u64 {
+    let g = u64::from(g_of(n));
+    g * rounds_per_sweep(n, p) + g
+}
+
+/// Match2 (Lemma 4): `O(n/p + log n)`.
+pub fn match2_predicted(n: u64, p: u64) -> u64 {
+    rounds_per_sweep(n, p) + u64::from(ilog2_ceil(n))
+}
+
+/// Match3 (Lemma 5): `O(n·log G(n)/p + log G(n))`.
+pub fn match3_predicted(n: u64, p: u64) -> u64 {
+    let lg = u64::from(log_g(n));
+    lg * rounds_per_sweep(n, p) + lg
+}
+
+/// Match4 (Theorem 2) in its Lemma 3 partition form:
+/// `O(i·n/p + log^(i) n)` — with the table partition the `i` factor
+/// becomes `log i`.
+pub fn match4_predicted(n: u64, p: u64, i: u32) -> u64 {
+    u64::from(i) * rounds_per_sweep(n, p) + iterated_log_ceil(n, i)
+}
+
+/// The processor count up to which Theorem 1 promises optimality:
+/// `p = n / log^(i) n`.
+pub fn match4_optimal_procs(n: u64, i: u32) -> u64 {
+    (n / iterated_log_ceil(n, i).max(1)).max(1)
+}
+
+/// The processor count up to which Match2 stays optimal (Lemma 4):
+/// `p = n / log n`.
+pub fn match2_optimal_procs(n: u64) -> u64 {
+    (n / u64::from(ilog2_ceil(n)).max(1)).max(1)
+}
+
+/// Work-efficiency of a measured run: `p·T_p / n` (a maximal matching
+/// takes `T_1 = Θ(n)` sequentially, so values `O(1)` mean optimal).
+pub fn work_efficiency(n: u64, p: u64, steps: u64) -> f64 {
+    (p as f64 * steps as f64) / n.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_rounds() {
+        assert_eq!(rounds_per_sweep(100, 10), 10);
+        assert_eq!(rounds_per_sweep(101, 10), 11);
+        assert_eq!(rounds_per_sweep(5, 100), 1);
+        assert_eq!(rounds_per_sweep(5, 0), 5);
+    }
+
+    #[test]
+    fn predictions_scale_down_with_p() {
+        let n = 1 << 20;
+        for f in [
+            match1_predicted as fn(u64, u64) -> u64,
+            match2_predicted,
+            match3_predicted,
+        ] {
+            assert!(f(n, 1) > f(n, 64));
+            assert!(f(n, 64) >= f(n, n));
+        }
+        assert!(match4_predicted(n, 1, 2) > match4_predicted(n, 1 << 10, 2));
+    }
+
+    #[test]
+    fn match4_beats_match2_at_high_p() {
+        // Past p = n/log n Match2's additive log n dominates while
+        // Match4's additive log^(i) n stays tiny.
+        let n: u64 = 1 << 20;
+        let p = n / 2; // far beyond n/log n
+        assert!(match4_predicted(n, p, 3) < match2_predicted(n, p));
+    }
+
+    #[test]
+    fn optimal_proc_bounds_ordered() {
+        let n: u64 = 1 << 20;
+        assert!(match4_optimal_procs(n, 2) > match2_optimal_procs(n));
+        assert!(match4_optimal_procs(n, 3) >= match4_optimal_procs(n, 2));
+    }
+
+    #[test]
+    fn efficiency_constant_at_optimal_p() {
+        let n: u64 = 1 << 18;
+        let p = match2_optimal_procs(n);
+        let t = match2_predicted(n, p);
+        assert!(work_efficiency(n, p, t) < 4.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Finishing stages: from a symmetry-broken list to a maximal matching.
+//!
+//! Two finishers appear in the paper:
+//!
+//! * **Match1 steps 3–4** ([`from_labels`]): with converged (constant
+//!   range) labels, delete the pointer out of every *local minimum*
+//!   (step 3: `label[pre(v)] > label[v] and label[v] < label[suc(v)]`),
+//!   which cuts the list into constant-length sublists (each sublist's
+//!   label sequence has no interior local minimum, so its length is
+//!   bounded by twice the label range); then walk down each sublist
+//!   adding every other pointer (step 4). A last parallel pass re-adds
+//!   any deleted pointer both of whose endpoints stayed free — deleted
+//!   pointers are pairwise non-adjacent (two adjacent local minima are
+//!   impossible), so the pass is conflict-free; this closes the
+//!   maximality gap at sublist boundaries that the paper's prose leaves
+//!   implicit.
+//! * **the greedy set sweep of Match2 step 3** ([`greedy_by_sets`]):
+//!   given any matching partition, process the sets one at a time; within
+//!   a set, add every pointer whose endpoints are both free — legal in
+//!   parallel precisely because a set is a matching.
+
+use crate::matching::Matching;
+use crate::partition::{PointerSets, NO_POINTER};
+use parmatch_bits::Word;
+use parmatch_list::{cut::walk_sublists, LinkedList, NodeId, NIL};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Match1 step 3: the cut mask. `cut[v]` ⇔ node `v` is a strict local
+/// minimum of the label sequence, with the head's missing predecessor
+/// treated as `+∞` (so a head that starts an ascent is a minimum), and
+/// the comparison at the tail using the tail's outgoing-pointer absence
+/// as `+∞` likewise.
+pub fn local_min_cuts(list: &LinkedList, labels: &[Word]) -> Vec<bool> {
+    assert_eq!(labels.len(), list.len(), "label array length mismatch");
+    let pred = list.pred_array();
+    (0..list.len() as NodeId)
+        .into_par_iter()
+        .map(|v| {
+            if list.next_raw(v) == NIL {
+                return false; // no outgoing pointer to delete
+            }
+            let lv = labels[v as usize];
+            let left_higher = match pred[v as usize] {
+                NIL => true,
+                u => labels[u as usize] > lv,
+            };
+            let right_higher = labels[list.next_raw(v) as usize] > lv;
+            left_higher && right_higher
+        })
+        .collect()
+}
+
+/// Match1 steps 3–4: cut at local minima, walk the sublists taking even
+/// offsets, then re-add coverable deleted pointers. The result is a
+/// maximal matching whenever adjacent labels are distinct.
+pub fn from_labels(list: &LinkedList, labels: &[Word]) -> Matching {
+    let n = list.len();
+    if n < 2 {
+        return Matching::empty(n);
+    }
+    let cut = local_min_cuts(list, labels);
+    // Step 4: every other pointer of each sublist. Offsets are disjoint
+    // per pointer; writes target distinct tails.
+    let mask: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    walk_sublists(list, &cut, |tail, _head, offset| {
+        if offset % 2 == 0 {
+            mask[tail as usize].store(true, Ordering::Relaxed);
+        }
+    });
+    let mut mask: Vec<bool> = mask.into_iter().map(AtomicBool::into_inner).collect();
+
+    // Fix-up: a deleted pointer <v, suc v> whose endpoints both stayed
+    // free can (and for maximality must) be added. Deleted pointers are
+    // pairwise non-adjacent, so decisions are independent; compute the
+    // matched-node mask first, then add.
+    let matched_node = {
+        let mut mn = vec![false; n];
+        for v in 0..n {
+            if mask[v] {
+                mn[v] = true;
+                mn[list.next_raw(v as NodeId) as usize] = true;
+            }
+        }
+        mn
+    };
+    let additions: Vec<usize> = (0..n)
+        .into_par_iter()
+        .filter(|&v| {
+            cut[v]
+                && list.next_raw(v as NodeId) != NIL
+                && !matched_node[v]
+                && !matched_node[list.next_raw(v as NodeId) as usize]
+        })
+        .collect();
+    for v in additions {
+        mask[v] = true;
+    }
+    Matching::from_mask(list, mask)
+}
+
+/// Match2 step 3: sweep the matching sets in increasing set number;
+/// within a set add every pointer whose endpoints are both still free.
+///
+/// `order` optionally supplies the processing order of set numbers
+/// (defaults to ascending); the experiments use this to show the result
+/// is maximal regardless of order.
+pub fn greedy_by_sets(list: &LinkedList, ps: &PointerSets, order: Option<&[Word]>) -> Matching {
+    let n = list.len();
+    let mut mask = vec![false; n];
+    let mut done = vec![false; n];
+
+    // Bucket pointer tails by set number once (the "sort" of step 2 in
+    // its native form).
+    let bound = ps.bound() as usize;
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); bound];
+    for v in 0..n as NodeId {
+        let s = ps.set_of(v);
+        if s != NO_POINTER {
+            buckets[s as usize].push(v);
+        }
+    }
+
+    let default_order: Vec<Word> = (0..bound as Word).collect();
+    let order = order.unwrap_or(&default_order);
+    assert_eq!(order.len(), bound, "order must cover every set number");
+
+    for &s in order {
+        // Within one matching set pointers are node-disjoint: the
+        // adds below cannot conflict, so this loop body is exactly the
+        // "for all pointers in matching set k do in parallel" of the
+        // paper (executed here as a sequential scan over the bucket —
+        // the PRAM version in `pram_impl` runs it as parallel steps).
+        for &v in &buckets[s as usize] {
+            let head = list.next_raw(v) as usize;
+            if !done[v as usize] && !done[head] {
+                done[v as usize] = true;
+                done[head] = true;
+                mask[v as usize] = true;
+            }
+        }
+    }
+    Matching::from_mask(list, mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::LabelSeq;
+    use crate::partition::pointer_sets;
+    use crate::verify;
+    use crate::CoinVariant;
+    use parmatch_list::{random_list, reversed_list, sequential_list};
+
+    #[test]
+    fn local_min_cut_positions() {
+        // order 0->1->2->3->4, labels 5,1,4,0,2: local minima at nodes
+        // 1 (5>1<4) and 3 (4>0<2); head 0 has virtual +inf pred but
+        // 5 > 1 fails the right test... head: left=+inf>5 true,
+        // right: 1 > 5 false -> not a min.
+        let list = sequential_list(5);
+        let labels = [5u64, 1, 4, 0, 2];
+        let cut = local_min_cuts(&list, &labels);
+        assert_eq!(cut, vec![false, true, false, true, false]);
+    }
+
+    #[test]
+    fn tail_never_cut() {
+        let list = sequential_list(4);
+        let labels = [3u64, 2, 1, 0]; // strictly decreasing: tail is min
+        let cut = local_min_cuts(&list, &labels);
+        assert!(!cut[3], "tail has no pointer to delete");
+    }
+
+    #[test]
+    fn from_labels_is_maximal_on_converged_labels() {
+        for seed in 0..5 {
+            let list = random_list(2000, seed);
+            let l = LabelSeq::initial(&list, CoinVariant::Msb)
+                .relabel_to_convergence(&list);
+            let m = from_labels(&list, l.labels());
+            verify::assert_maximal_matching(&list, &m);
+        }
+    }
+
+    #[test]
+    fn from_labels_after_one_round_is_still_maximal() {
+        // The finisher only needs adjacent-distinct labels; with a
+        // non-constant range the sublists are longer but the matching is
+        // still maximal.
+        let list = random_list(3000, 77);
+        let l = LabelSeq::initial(&list, CoinVariant::Lsb).relabel(&list);
+        let m = from_labels(&list, l.labels());
+        verify::assert_maximal_matching(&list, &m);
+    }
+
+    #[test]
+    fn from_labels_tiny_lists() {
+        for n in [0usize, 1] {
+            let list = sequential_list(n);
+            let m = from_labels(&list, &vec![0; n]);
+            assert!(m.is_empty());
+        }
+        let list = sequential_list(2);
+        let m = from_labels(&list, &[0, 1]);
+        verify::assert_maximal_matching(&list, &m);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn greedy_by_sets_maximal_any_order() {
+        let list = random_list(2500, 13);
+        let ps = pointer_sets(&list, 2, CoinVariant::Msb);
+        let m_asc = greedy_by_sets(&list, &ps, None);
+        verify::assert_maximal_matching(&list, &m_asc);
+        let desc: Vec<u64> = (0..ps.bound()).rev().collect();
+        let m_desc = greedy_by_sets(&list, &ps, Some(&desc));
+        verify::assert_maximal_matching(&list, &m_desc);
+    }
+
+    #[test]
+    fn greedy_on_reversed_layout() {
+        let list = reversed_list(1024);
+        let ps = pointer_sets(&list, 1, CoinVariant::Lsb);
+        let m = greedy_by_sets(&list, &ps, None);
+        verify::assert_maximal_matching(&list, &m);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must cover")]
+    fn greedy_bad_order_panics() {
+        let list = sequential_list(8);
+        let ps = pointer_sets(&list, 1, CoinVariant::Msb);
+        greedy_by_sets(&list, &ps, Some(&[0, 1]));
+    }
+}

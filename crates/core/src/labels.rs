@@ -1,0 +1,343 @@
+//! Node labels and the matching partition function `f`.
+//!
+//! Section 2 of the paper assigns every node `v` a label, initially its
+//! own array address, and repeatedly replaces it by
+//! `label[v] := f(<label[v], label[suc(v)]>)` where
+//!
+//! ```text
+//! f(<a, b>) = 2k + a_k,   k = the chosen differing bit of a XOR b
+//! ```
+//!
+//! (`k` is the most significant differing bit in the paper's intuitive
+//! definition, the least significant in the computational variant of the
+//! appendix; see [`CoinVariant`]). Each application shrinks the label
+//! range from `n` to `O(log n)` — *deterministic coin tossing*.
+//!
+//! Two boundary details the paper leaves informal are made explicit here:
+//!
+//! * **the tail wrap**: `f` at the last element uses the first element's
+//!   label (paper, Section 2). After a few rounds the two can coincide,
+//!   so this module uses the *total* extension [`f_ext`] that maps an
+//!   equal pair to a sentinel one past the pair range. `f_ext` is still
+//!   a matching partition function, and it preserves the invariant that
+//!   **cyclically adjacent labels stay pairwise distinct** (see
+//!   [`LabelSeq::relabel`]) — the property every later stage relies on;
+//! * **the label bound**: [`LabelSeq`] carries a proven upper bound on
+//!   its labels, which after one round of width `w = ⌈log₂ bound⌉`
+//!   becomes `2w + 2` (values `2k + bit < 2w`, sentinel `2w`, so bound
+//!   `2w + 1`); the bound sequence is exactly the `2·log^(k) n (1+o(1))`
+//!   cascade of Lemma 2.
+
+use parmatch_bits::coin::CoinVariant;
+use parmatch_bits::{ilog2_ceil, Word};
+use parmatch_list::{LinkedList, NodeId};
+use rayon::prelude::*;
+
+/// The matching partition function on a pair of distinct labels:
+/// `f(<a,b>) = 2k + a_k` with `k` the differing bit chosen by `variant`.
+///
+/// # Panics
+///
+/// Panics if `a == b` (no differing bit). Use [`f_ext`] for the total
+/// extension.
+#[inline]
+pub fn f_pair(a: Word, b: Word, variant: CoinVariant) -> Word {
+    let k = variant.diff_bit(a, b);
+    2 * Word::from(k) + ((a >> k) & 1)
+}
+
+/// Total extension of [`f_pair`]: equal labels map to the sentinel
+/// `2 * width_bits`, one past every value `f_pair` can produce on
+/// `width_bits`-bit inputs.
+///
+/// `f_ext` is a matching partition function in the paper's sense: for a
+/// triple `a, b, c` with `a ≠ b` **or** `b ≠ c` — but not both equalities
+/// — `f_ext(a,b) ≠ f_ext(b,c)` whenever both pairs are unequal (the
+/// classic argument), and when exactly one pair is equal its sentinel
+/// differs from the other pair's in-range value.
+#[inline]
+pub fn f_ext(a: Word, b: Word, width_bits: u32, variant: CoinVariant) -> Word {
+    if a == b {
+        2 * Word::from(width_bits)
+    } else {
+        f_pair(a, b, variant)
+    }
+}
+
+/// A labelling of the nodes of a list, with a proven exclusive upper
+/// bound on the label values.
+///
+/// Invariant (established by [`LabelSeq::initial`] and preserved by
+/// [`LabelSeq::relabel`]): labels of **cyclically adjacent** nodes are
+/// distinct — `label[v] ≠ label[suc(v)]` for every real pointer and for
+/// the tail→head wrap.
+///
+/// # Examples
+///
+/// ```
+/// use parmatch_core::{CoinVariant, LabelSeq};
+/// use parmatch_list::random_list;
+///
+/// let list = random_list(1 << 16, 1);
+/// let l = LabelSeq::initial(&list, CoinVariant::Msb);
+/// assert_eq!(l.bound(), 1 << 16);           // addresses
+/// let l = l.relabel(&list);
+/// assert_eq!(l.bound(), 2 * 16 + 1);        // Lemma 1
+/// let l = l.relabel_to_convergence(&list);
+/// assert!(l.bound() <= 9);                  // the fixed point
+/// assert!(l.adjacent_distinct(&list));      // the invariant
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelSeq {
+    labels: Vec<Word>,
+    bound: Word,
+    variant: CoinVariant,
+    rounds: u32,
+}
+
+impl LabelSeq {
+    /// The initial labelling: `label[v] = v` (the node's address),
+    /// bound `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list has fewer than 2 nodes — there are no pointers
+    /// to partition (callers special-case trivial lists).
+    pub fn initial(list: &LinkedList, variant: CoinVariant) -> Self {
+        let n = list.len();
+        assert!(n >= 2, "labelling requires at least 2 nodes (got {n})");
+        Self {
+            labels: (0..n as Word).collect(),
+            bound: n as Word,
+            variant,
+            rounds: 0,
+        }
+    }
+
+    /// The labels, indexed by node id.
+    #[inline]
+    pub fn labels(&self) -> &[Word] {
+        &self.labels
+    }
+
+    /// Exclusive upper bound on the label values.
+    #[inline]
+    pub fn bound(&self) -> Word {
+        self.bound
+    }
+
+    /// Number of relabel rounds applied so far.
+    #[inline]
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// The coin-tossing variant in use.
+    #[inline]
+    pub fn variant(&self) -> CoinVariant {
+        self.variant
+    }
+
+    /// Label bit width `w = max(1, ⌈log₂ bound⌉)` of the current round.
+    #[inline]
+    pub fn width_bits(&self) -> u32 {
+        ilog2_ceil(self.bound).max(1)
+    }
+
+    /// Bound after one more round: `2w + 1` (values `< 2w`, sentinel `2w`).
+    #[inline]
+    pub fn next_bound(&self) -> Word {
+        2 * Word::from(self.width_bits()) + 1
+    }
+
+    /// Whether a further round can still shrink the bound.
+    #[inline]
+    pub fn converged(&self) -> bool {
+        self.next_bound() >= self.bound
+    }
+
+    /// One round of deterministic coin tossing:
+    /// `label[v] := f_ext(label[v], label[suc(v)])` for all nodes in
+    /// parallel, the tail wrapping to the head (paper, Section 2).
+    ///
+    /// Preserves the adjacent-distinct invariant: if all cyclically
+    /// adjacent labels differ beforehand, `f_ext(l_v, l_w) =
+    /// f_ext(l_w, l_x)` would require either both pairs equal
+    /// (excluded) or the classic `f` collision (impossible — at
+    /// `k = diff(l_w, l_x)` the values `2k + (l_w)_k` and `2k + (l_v)_k
+    /// = 2k + (l_w)_k` would force `(l_v)_k = (l_w)_k` at *their* top
+    /// differing bit, contradiction).
+    pub fn relabel(&self, list: &LinkedList) -> Self {
+        assert_eq!(list.len(), self.labels.len(), "label/list size mismatch");
+        let w = self.width_bits();
+        let variant = self.variant;
+        let labels = &self.labels;
+        let new_labels: Vec<Word> = (0..list.len())
+            .into_par_iter()
+            .map(|v| {
+                let s = list.next_cyclic(v as NodeId) as usize;
+                f_ext(labels[v], labels[s], w, variant)
+            })
+            .collect();
+        Self {
+            labels: new_labels,
+            bound: self.next_bound(),
+            variant,
+            rounds: self.rounds + 1,
+        }
+    }
+
+    /// Apply `k` rounds of [`relabel`](Self::relabel).
+    pub fn relabel_k(&self, list: &LinkedList, k: u32) -> Self {
+        let mut cur = self.clone();
+        for _ in 0..k {
+            cur = cur.relabel(list);
+        }
+        cur
+    }
+
+    /// Relabel until the bound stops shrinking — `G(n) + O(1)` rounds —
+    /// and return the converged labelling. This is step 2 of Match1 run
+    /// to the fixed point.
+    pub fn relabel_to_convergence(&self, list: &LinkedList) -> Self {
+        let mut cur = self.clone();
+        while !cur.converged() {
+            cur = cur.relabel(list);
+        }
+        cur
+    }
+
+    /// Check the adjacent-distinct invariant (used by tests and the
+    /// verification harness; `O(n)`).
+    pub fn adjacent_distinct(&self, list: &LinkedList) -> bool {
+        (0..list.len()).into_par_iter().all(|v| {
+            let s = list.next_cyclic(v as NodeId) as usize;
+            s == v || self.labels[v] != self.labels[s]
+        })
+    }
+
+    /// Largest label actually present (diagnostic).
+    pub fn max_label(&self) -> Word {
+        self.labels.par_iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmatch_list::{random_list, sequential_list};
+
+    #[test]
+    fn f_pair_examples() {
+        // a=0b0110, b=0b0100: msb diff at bit 1, a_1 = 1 -> 3
+        assert_eq!(f_pair(0b0110, 0b0100, CoinVariant::Msb), 3);
+        // lsb diff also at bit 1 here
+        assert_eq!(f_pair(0b0110, 0b0100, CoinVariant::Lsb), 3);
+        // a=5 (101), b=6 (110): msb diff bit 1, a_1=0 -> 2; lsb diff bit 0, a_0=1 -> 1
+        assert_eq!(f_pair(5, 6, CoinVariant::Msb), 2);
+        assert_eq!(f_pair(5, 6, CoinVariant::Lsb), 1);
+    }
+
+    #[test]
+    fn f_pair_is_matching_partition_function() {
+        // exhaustive check of the defining property on small labels
+        for variant in [CoinVariant::Msb, CoinVariant::Lsb] {
+            for a in 0u64..32 {
+                for b in 0u64..32 {
+                    for c in 0u64..32 {
+                        if a != b && b != c {
+                            assert_ne!(
+                                f_pair(a, b, variant),
+                                f_pair(b, c, variant),
+                                "a={a} b={b} c={c} {variant:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f_ext_sentinel_distinct() {
+        let w = 5;
+        for a in 0u64..32 {
+            for b in 0u64..32 {
+                if a != b {
+                    assert!(f_pair(a, b, CoinVariant::Msb) < 2 * u64::from(w));
+                }
+            }
+        }
+        assert_eq!(f_ext(7, 7, w, CoinVariant::Msb), 10);
+    }
+
+    #[test]
+    fn initial_labels_are_addresses() {
+        let list = sequential_list(8);
+        let l = LabelSeq::initial(&list, CoinVariant::Msb);
+        assert_eq!(l.labels(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(l.bound(), 8);
+        assert_eq!(l.rounds(), 0);
+        assert!(l.adjacent_distinct(&list));
+    }
+
+    #[test]
+    fn relabel_shrinks_bound_lemma1() {
+        // Lemma 1: one application partitions into 2 ceil(log n) sets
+        // (+1 for the wrap sentinel).
+        let list = random_list(1 << 14, 3);
+        let l0 = LabelSeq::initial(&list, CoinVariant::Msb);
+        let l1 = l0.relabel(&list);
+        assert_eq!(l1.bound(), 2 * 14 + 1);
+        assert!(l1.max_label() < l1.bound());
+        assert!(l1.adjacent_distinct(&list));
+    }
+
+    #[test]
+    fn invariant_survives_many_rounds() {
+        for variant in [CoinVariant::Msb, CoinVariant::Lsb] {
+            let list = random_list(5000, 11);
+            let mut l = LabelSeq::initial(&list, variant);
+            for _ in 0..10 {
+                l = l.relabel(&list);
+                assert!(l.adjacent_distinct(&list), "round {}", l.rounds());
+                assert!(l.max_label() < l.bound(), "round {}", l.rounds());
+            }
+        }
+    }
+
+    #[test]
+    fn convergence_reaches_constant_bound() {
+        let list = random_list(1 << 16, 9);
+        let l = LabelSeq::initial(&list, CoinVariant::Msb)
+            .relabel_to_convergence(&list);
+        // fixed point of b -> 2 ceil(log2 b)+1 is 9 (w=4)
+        assert!(l.bound() <= 9, "bound {}", l.bound());
+        assert!(l.converged());
+        assert!(l.adjacent_distinct(&list));
+        // convergence takes about G(n) rounds
+        assert!(l.rounds() <= 8, "rounds {}", l.rounds());
+    }
+
+    #[test]
+    fn relabel_k_matches_repeated_relabel() {
+        let list = random_list(512, 2);
+        let l0 = LabelSeq::initial(&list, CoinVariant::Lsb);
+        let a = l0.relabel(&list).relabel(&list).relabel(&list);
+        let b = l0.relabel_k(&list, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn two_node_list() {
+        let list = sequential_list(2);
+        let l = LabelSeq::initial(&list, CoinVariant::Msb).relabel(&list);
+        assert!(l.adjacent_distinct(&list));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 nodes")]
+    fn singleton_panics() {
+        LabelSeq::initial(&sequential_list(1), CoinVariant::Msb);
+    }
+}

@@ -1,0 +1,65 @@
+//! Maximal matching of a linked list by matching partition functions.
+//!
+//! This crate is the reproduction of the core contribution of Yijie Han,
+//! *"Matching Partition a Linked List and Its Optimization"* (SPAA 1989):
+//! computing a **maximal matching** of the pointers of an array-stored
+//! linked list in parallel, by *deterministic coin tossing* — and, the
+//! paper's headline, doing it **optimally** with up to `n / log^(i) n`
+//! processors via a pipelined processor-scheduling technique
+//! (Algorithm Match4 / Theorems 1–2).
+//!
+//! # Layout
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`labels`] | the matching partition function `f` and its iterates (Section 2, Lemmas 1–2) |
+//! | [`partition`] | pointer set numbers, set counting (Lemma 3) |
+//! | [`table`] | lookup tables for `f^(i)` (Match3 steps 2–4, appendix) |
+//! | [`matching`], [`verify`] | matching representation and checkers |
+//! | [`finish`] | Match1 steps 3–4 (cut at local minima, walk sublists) and the greedy set sweep of Match2 step 3 |
+//! | [`match1`]–[`match4`] | the four algorithms, rayon-native |
+//! | [`walkdown`] | WalkDown1 (Lemma 6) and WalkDown2 (Lemma 7 pipeline) |
+//! | [`pram_impl`] | step-faithful simulator versions with exact PRAM step counts |
+//! | [`cost`] | the paper's analytic step-count predictions |
+//!
+//! # Quick start
+//!
+//! ```
+//! use parmatch_core::{match4, verify};
+//! use parmatch_list::random_list;
+//!
+//! let list = random_list(10_000, 7);
+//! let m = match4(&list, 2).matching;
+//! assert!(verify::is_matching(&list, &m));
+//! assert!(verify::is_maximal(&list, &m));
+//! // a maximal matching on a path covers at least 1/3 of the pointers
+//! assert!(3 * m.len() >= list.pointer_count());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod cost;
+pub mod finish;
+pub mod labels;
+pub mod match1;
+pub mod match2;
+pub mod match3;
+pub mod match4;
+pub mod matching;
+pub mod partition;
+pub mod pram_impl;
+pub mod shift_graph;
+pub mod table;
+pub mod verify;
+pub mod walkdown;
+
+pub use labels::{f_ext, f_pair, LabelSeq};
+pub use match1::{match1, Match1Output};
+pub use match2::{match2, Match2Output};
+pub use match3::{match3, Match3Config, Match3Error, Match3Output};
+pub use match4::{match4, match4_from_partition, match4_with, Match4Output};
+pub use matching::Matching;
+pub use parmatch_bits::coin::CoinVariant;
+pub use partition::{pointer_sets, set_count, PointerSets};

@@ -1,0 +1,124 @@
+//! Algorithm Match1 (rayon-native form).
+//!
+//! ```text
+//! Step 1. label[v] := address of v
+//! Step 2. for i := 1 to G(n): label[v] := f(<label[v], label[suc(v)]>)  (all v in parallel)
+//! Step 3. delete <v, suc(v)> where label[pre(v)] > label[v] < label[suc(v)]
+//! Step 4. walk each (constant-length) sublist, matching every other pointer
+//! ```
+//!
+//! Time `O(n·G(n)/p + G(n))` — the `G(n)` relabel rounds each touch all
+//! `n` nodes. Not optimal (Lemma 3), but the building block of
+//! everything else.
+
+use crate::finish::from_labels;
+use crate::labels::LabelSeq;
+use crate::matching::Matching;
+use crate::CoinVariant;
+use parmatch_list::LinkedList;
+
+/// Result of [`match1`]: the matching plus the run's vital signs.
+#[derive(Debug, Clone)]
+pub struct Match1Output {
+    /// The maximal matching.
+    pub matching: Matching,
+    /// Relabel rounds executed (≈ `G(n)`).
+    pub rounds: u32,
+    /// Final label bound (the constant the cascade converges to).
+    pub final_bound: u64,
+}
+
+/// Compute a maximal matching with Algorithm Match1: iterate `f` to
+/// convergence (`G(n) + O(1)` rounds), then cut-and-walk.
+///
+/// Lists with fewer than 2 nodes yield the empty matching.
+///
+/// # Examples
+///
+/// ```
+/// use parmatch_core::{match1, verify, CoinVariant};
+/// use parmatch_list::random_list;
+///
+/// let list = random_list(10_000, 1);
+/// let out = match1(&list, CoinVariant::Msb);
+/// verify::assert_maximal_matching(&list, &out.matching);
+/// assert!(out.rounds <= 5);          // ≈ G(n): effectively constant
+/// assert!(out.final_bound <= 9);     // the cascade's fixed point
+/// ```
+pub fn match1(list: &LinkedList, variant: CoinVariant) -> Match1Output {
+    if list.len() < 2 {
+        return Match1Output {
+            matching: Matching::empty(list.len()),
+            rounds: 0,
+            final_bound: 0,
+        };
+    }
+    let labels = LabelSeq::initial(list, variant).relabel_to_convergence(list);
+    let matching = from_labels(list, labels.labels());
+    Match1Output {
+        matching,
+        rounds: labels.rounds(),
+        final_bound: labels.bound(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use parmatch_list::{blocked_list, random_list, reversed_list, sequential_list};
+
+    #[test]
+    fn maximal_on_random_lists() {
+        for seed in 0..8 {
+            let list = random_list(1 << 12, seed);
+            for variant in [CoinVariant::Msb, CoinVariant::Lsb] {
+                let out = match1(&list, variant);
+                verify::assert_maximal_matching(&list, &out.matching);
+                assert!(out.final_bound <= 9, "bound {}", out.final_bound);
+            }
+        }
+    }
+
+    #[test]
+    fn maximal_on_structured_layouts() {
+        for list in [
+            sequential_list(4097),
+            reversed_list(4096),
+            blocked_list(5000, 64, 3),
+        ] {
+            let out = match1(&list, CoinVariant::Msb);
+            verify::assert_maximal_matching(&list, &out.matching);
+        }
+    }
+
+    #[test]
+    fn rounds_grow_like_g_of_n() {
+        // G is essentially constant; the round count must be tiny at
+        // every scale.
+        for e in [6u32, 10, 14, 18] {
+            let list = random_list(1 << e, 1);
+            let out = match1(&list, CoinVariant::Msb);
+            assert!(out.rounds <= 6, "n=2^{e}: rounds {}", out.rounds);
+        }
+    }
+
+    #[test]
+    fn trivial_lists() {
+        for n in [0usize, 1] {
+            let out = match1(&sequential_list(n), CoinVariant::Msb);
+            assert!(out.matching.is_empty());
+        }
+        let list = sequential_list(2);
+        let out = match1(&list, CoinVariant::Msb);
+        assert_eq!(out.matching.len(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let list = random_list(3000, 5);
+        let a = match1(&list, CoinVariant::Msb);
+        let b = match1(&list, CoinVariant::Msb);
+        assert_eq!(a.matching, b.matching);
+    }
+}

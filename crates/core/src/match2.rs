@@ -1,0 +1,125 @@
+//! Algorithm Match2 (rayon-native form).
+//!
+//! ```text
+//! Step 1. partition pointers into ≤ log^(2) n matching sets
+//! Step 2. sort pointers by set number (the global sort the paper
+//!         criticizes — here a bucket pass)
+//! Step 3. S := ∅; DONE[·] := false
+//!         for k := 0 .. sets-1:
+//!             for all <a,b> in set k in parallel:
+//!                 if !DONE[a] and !DONE[b] { DONE[a,b] := true; S += <a,b> }
+//! ```
+//!
+//! Time `O(n/p + log n)` (Lemma 4) — optimal up to `p = n/log n`
+//! processors; the sort step is what stops it scaling further, which is
+//! exactly the gap Match4 closes.
+
+use crate::finish::greedy_by_sets;
+use crate::matching::Matching;
+use crate::partition::{pointer_sets, PointerSets};
+use crate::CoinVariant;
+use parmatch_list::LinkedList;
+
+/// Result of [`match2`].
+#[derive(Debug, Clone)]
+pub struct Match2Output {
+    /// The maximal matching.
+    pub matching: Matching,
+    /// The partition used (kept for diagnostics: set counts, histogram).
+    pub partition: PointerSets,
+}
+
+/// Compute a maximal matching with Algorithm Match2, using `rounds`
+/// applications of `f` for step 1 (the paper's `log^(2) n`-set partition
+/// corresponds to `rounds = 2`).
+///
+/// # Examples
+///
+/// ```
+/// use parmatch_core::{match2, verify, CoinVariant};
+/// use parmatch_list::random_list;
+///
+/// let list = random_list(10_000, 1);
+/// let out = match2(&list, 2, CoinVariant::Msb);
+/// verify::assert_maximal_matching(&list, &out.matching);
+/// // two rounds leave ≈ 2·log log n matching sets to sweep
+/// assert!(out.partition.distinct_sets() <= 12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `rounds == 0`.
+pub fn match2(list: &LinkedList, rounds: u32, variant: CoinVariant) -> Match2Output {
+    assert!(rounds >= 1, "at least one partition round required");
+    if list.len() < 2 {
+        let matching = Matching::empty(list.len());
+        // an empty partition placeholder is not constructible for tiny
+        // lists; synthesize a trivial one by construction on a 2-list is
+        // impossible here, so short-circuit with an empty set array.
+        return Match2Output {
+            matching,
+            partition: PointerSets::trivial(list.len()),
+        };
+    }
+    let partition = pointer_sets(list, rounds, variant);
+    let matching = greedy_by_sets(list, &partition, None);
+    Match2Output { matching, partition }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use parmatch_list::{random_list, sequential_list, strided_list};
+
+    #[test]
+    fn maximal_across_rounds() {
+        let list = random_list(1 << 13, 21);
+        for rounds in 1..=4 {
+            for variant in [CoinVariant::Msb, CoinVariant::Lsb] {
+                let out = match2(&list, rounds, variant);
+                verify::assert_maximal_matching(&list, &out.matching);
+                assert!(verify::partition_is_valid(&list, &out.partition));
+            }
+        }
+    }
+
+    #[test]
+    fn two_rounds_is_log_log_sets() {
+        let list = random_list(1 << 16, 4);
+        let out = match2(&list, 2, CoinVariant::Msb);
+        // 2 log^(2) 65536 = 8, plus sentinel slack
+        assert!(out.partition.distinct_sets() <= 11,
+            "sets: {}", out.partition.distinct_sets());
+    }
+
+    #[test]
+    fn greedy_matching_is_large() {
+        // The set sweep is greedy-by-set, which typically matches close
+        // to half the pointers; assert comfortably above the 1/3 floor.
+        let list = random_list(100_000, 8);
+        let out = match2(&list, 2, CoinVariant::Msb);
+        assert!(
+            10 * out.matching.len() >= 4 * list.pointer_count(),
+            "matched {} of {}",
+            out.matching.len(),
+            list.pointer_count()
+        );
+    }
+
+    #[test]
+    fn structured_layouts() {
+        for list in [sequential_list(999), strided_list(1 << 10, 5)] {
+            let out = match2(&list, 2, CoinVariant::Lsb);
+            verify::assert_maximal_matching(&list, &out.matching);
+        }
+    }
+
+    #[test]
+    fn trivial_lists() {
+        for n in [0usize, 1] {
+            let out = match2(&sequential_list(n), 2, CoinVariant::Msb);
+            assert!(out.matching.is_empty());
+        }
+    }
+}

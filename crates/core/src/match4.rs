@@ -1,0 +1,188 @@
+//! Algorithm Match4 (rayon-native form) — the paper's main result.
+//!
+//! ```text
+//! Step 1. partition pointers into log^(i) n matching sets        (iterated f)
+//! Step 2. view the array as x = log^(i) n rows × y = n/x columns;
+//!         each processor counting-sorts its own column by set number
+//! Step 3. WalkDown1: 3-color the inter-row pointers               (Lemma 6)
+//! Step 4. WalkDown2: 3-color the intra-row pointers, pipelined    (Lemma 7)
+//! Step 5. finish the 3-set partition into a maximal matching
+//! ```
+//!
+//! Total time `O(n·log i/p + log^(i) n + log i)` (Theorem 2); optimal
+//! with up to `p = n/log^(i) n` processors for any constant `i`
+//! (Theorem 1). The native form fixes `p = y` (one rayon task per
+//! column); the step-count form lives in
+//! [`pram_impl`](crate::pram_impl).
+//!
+//! Step 1 here iterates `f` directly (`O(i·n/p)`, the Lemma 3 form);
+//! the `log i` refinement comes from the Match3 table technique and is
+//! available by pre-partitioning with [`crate::table`] — the experiment
+//! drivers exercise both.
+
+use crate::finish::greedy_by_sets;
+use crate::matching::Matching;
+use crate::partition::{pointer_sets, PointerSets, NO_POINTER};
+use crate::walkdown::{color_pointers, Grid, UNCOLORED};
+use crate::CoinVariant;
+use parmatch_bits::Word;
+use parmatch_list::LinkedList;
+use rayon::prelude::*;
+
+/// Result of [`match4`] with the grid's vital signs.
+#[derive(Debug, Clone)]
+pub struct Match4Output {
+    /// The maximal matching.
+    pub matching: Matching,
+    /// Rows `x` of the two-dimensional view (= the set-number bound,
+    /// `≈ log^(i) n`).
+    pub rows: usize,
+    /// Columns `y` (= the virtual processor count `n/x` of Theorem 1).
+    pub cols: usize,
+    /// Distinct matching sets produced by step 1.
+    pub distinct_sets: usize,
+    /// Lockstep rounds spent in WalkDown1 + WalkDown2 (`3x − 1`).
+    pub walk_rounds: usize,
+}
+
+/// Compute a maximal matching with Algorithm Match4, using `i`
+/// applications of `f` for the step-1 partition.
+///
+/// # Panics
+///
+/// Panics if `i == 0`.
+pub fn match4(list: &LinkedList, i: u32) -> Match4Output {
+    match4_with(list, i, CoinVariant::Msb)
+}
+
+/// [`match4`] with an explicit coin-tossing variant.
+pub fn match4_with(list: &LinkedList, i: u32, variant: CoinVariant) -> Match4Output {
+    assert!(i >= 1, "partition rounds i must be at least 1");
+    let n = list.len();
+    if n < 2 {
+        return Match4Output {
+            matching: Matching::empty(n),
+            rows: 0,
+            cols: 0,
+            distinct_sets: 0,
+            walk_rounds: 0,
+        };
+    }
+    let ps = pointer_sets(list, i, variant);
+    match4_from_partition(list, &ps)
+}
+
+/// Steps 2–5 of Match4 on an externally supplied partition (this is how
+/// the table-based `O(log i)` partition of Match3 plugs in).
+pub fn match4_from_partition(list: &LinkedList, ps: &PointerSets) -> Match4Output {
+    let x = ps.bound() as usize;
+    let grid = Grid::new(list, ps, x);
+    let (colors, walk_rounds) = color_pointers(list, &grid);
+    debug_assert!(crate::verify::coloring_is_proper(list, &colors, 3));
+
+    // Step 5: the 3 color classes are matching sets; sweep them greedily
+    // (equivalently Match1 steps 3–4 on the 3-bounded labels).
+    let color_sets = PointerSets::from_raw(
+        colors
+            .par_iter()
+            .enumerate()
+            .map(|(_v, &c)| {
+                debug_assert!(c < 3 || c == UNCOLORED);
+                if c == UNCOLORED {
+                    NO_POINTER
+                } else {
+                    Word::from(c)
+                }
+            })
+            .collect(),
+        3,
+        ps.rounds(),
+    );
+    let matching = greedy_by_sets(list, &color_sets, None);
+    Match4Output {
+        matching,
+        rows: grid.rows(),
+        cols: grid.cols(),
+        distinct_sets: ps.distinct_sets(),
+        walk_rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use parmatch_list::{blocked_list, random_list, reversed_list, sequential_list};
+
+    #[test]
+    fn maximal_for_each_i() {
+        let list = random_list(1 << 13, 2);
+        for i in 1..=5 {
+            let out = match4(&list, i);
+            verify::assert_maximal_matching(&list, &out.matching);
+            assert_eq!(out.walk_rounds, 3 * out.rows - 1);
+            assert_eq!(out.cols, list.len().div_ceil(out.rows));
+        }
+    }
+
+    #[test]
+    fn rows_shrink_with_i() {
+        let list = random_list(1 << 16, 3);
+        let r1 = match4(&list, 1).rows; // ~2 log n
+        let r2 = match4(&list, 2).rows; // ~2 log log n
+        let r3 = match4(&list, 3).rows;
+        assert!(r1 > r2, "r1={r1} r2={r2}");
+        assert!(r2 >= r3, "r2={r2} r3={r3}");
+        assert_eq!(r1, 2 * 16 + 1);
+    }
+
+    #[test]
+    fn both_variants() {
+        let list = random_list(6000, 8);
+        for v in [CoinVariant::Msb, CoinVariant::Lsb] {
+            let out = match4_with(&list, 2, v);
+            verify::assert_maximal_matching(&list, &out.matching);
+        }
+    }
+
+    #[test]
+    fn structured_layouts() {
+        for list in [
+            sequential_list(3000),
+            reversed_list(2048),
+            blocked_list(4097, 32, 5),
+        ] {
+            let out = match4(&list, 2);
+            verify::assert_maximal_matching(&list, &out.matching);
+        }
+    }
+
+    #[test]
+    fn tiny_lists() {
+        for n in [0usize, 1] {
+            let out = match4(&sequential_list(n), 2);
+            assert!(out.matching.is_empty());
+        }
+        for n in [2usize, 3, 4, 5] {
+            let list = random_list(n, 9);
+            let out = match4(&list, 1);
+            verify::assert_maximal_matching(&list, &out.matching);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let list = random_list(10_000, 17);
+        assert_eq!(match4(&list, 2).matching, match4(&list, 2).matching);
+    }
+
+    #[test]
+    fn matches_quality_of_match2() {
+        // Both are maximal; sizes must both be in [P/3, P/2] — check the
+        // band rather than equality.
+        let list = random_list(50_000, 1);
+        let m4 = match4(&list, 2).matching.len();
+        let p = list.pointer_count();
+        assert!(m4 * 3 >= p && m4 * 2 <= p + 1, "m4={m4} p={p}");
+    }
+}

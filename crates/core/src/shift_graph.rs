@@ -1,0 +1,344 @@
+//! The shift graph: how few matching sets *any* partition function can
+//! achieve (the paper's Remark, after [8, 10]).
+//!
+//! A matching partition function with 2 arguments is exactly a proper
+//! coloring of the **shift graph** `S(n)`: vertices are ordered pairs
+//! `(a, b)` with `a ≠ b`, `a, b < n`, and `(a, b)` is adjacent to
+//! `(b, c)` — consecutive pointers share their middle label. The
+//! paper's Remark: a function `m^(k)` achieving `log^(k) n (1+o(1))`
+//! sets exists, but none can beat `log^(k-1) n`; for `k = 2` (plain
+//! pairs) the floor is the chromatic number of `S(n)`, which is
+//! `log n (1+o(1))`.
+//!
+//! This module computes, for small universes,
+//!
+//! * the number of sets `f` actually uses ([`f_set_count`]) — the upper
+//!   curve `≤ 2⌈log n⌉` of Lemma 1,
+//! * the **Sperner-family coloring** ([`sperner_shift_coloring`]) — the
+//!   Remark's `log n (1+o(1))`-color construction: give each label a
+//!   distinct `⌊k/2⌋`-subset of `{0..k}` (an antichain, so
+//!   `S_a ⊄ S_b`) and color the pair `(a,b)` by an element of
+//!   `S_a \ S_b`; adjacent pairs `(a,b)`, `(b,c)` cannot share the
+//!   color `e`, since `e ∉ S_b` for the first but `e ∈ S_b` for the
+//!   second,
+//! * a naive greedy coloring ([`greedy_shift_coloring`]) — included as
+//!   the ablation showing that *order-oblivious* greedy is bad (up to
+//!   ~2n colors): the structure of `f` / the Sperner sets is doing real
+//!   work,
+//! * the exact chromatic number by branch-and-bound for tiny `n`
+//!   ([`exact_shift_chromatic`]) — the true floor.
+//!
+//! Together they sandwich the Remark:
+//! `⌈log n⌉ ≲ χ(S(n)) ≤ sperner ≈ log n ≤ f's count = 2⌈log n⌉ ≪ greedy`.
+
+use crate::CoinVariant;
+use parmatch_bits::Word;
+
+/// Vertex id of pair `(a, b)` in the shift graph over universe `n`:
+/// `a·n + b` (cells with `a == b` are unused).
+#[inline]
+fn pair_id(a: usize, b: usize, n: usize) -> usize {
+    a * n + b
+}
+
+/// Number of distinct values `f` takes over all pairs of the universe
+/// `0..n` — the color count of the Lemma 1 coloring restricted to the
+/// full shift graph (not just one list's pointers).
+pub fn f_set_count(n: usize, variant: CoinVariant) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    for a in 0..n as Word {
+        for b in 0..n as Word {
+            if a != b {
+                seen.insert(crate::labels::f_pair(a, b, variant));
+            }
+        }
+    }
+    seen.len()
+}
+
+/// The Remark's construction: color `S(n)` with the minimum `k` such
+/// that `C(k, ⌊k/2⌋) ≥ n`, i.e. `k = log n + O(log log n)` colors.
+///
+/// Returns `(k, colors)` where `colors[(a,b)] = some e ∈ S_a \ S_b`
+/// (dense `a·n + b` indexing, unused diagonal = `usize::MAX`).
+///
+/// # Examples
+///
+/// ```
+/// use parmatch_core::shift_graph::{shift_coloring_is_proper, sperner_shift_coloring};
+///
+/// let (k, colors) = sperner_shift_coloring(256);
+/// assert!(shift_coloring_is_proper(256, &colors));
+/// assert!(k < 2 * 8); // beats f's 2·log n colors (Lemma 1)
+/// ```
+pub fn sperner_shift_coloring(n: usize) -> (usize, Vec<usize>) {
+    assert!(n >= 2, "need at least two labels");
+    // minimal k with C(k, floor(k/2)) >= n
+    let mut k = 1usize;
+    while binomial(k, k / 2) < n as u128 {
+        k += 1;
+    }
+    // the first n subsets of {0..k} of size floor(k/2), in combinatorial
+    // order — pairwise incomparable (equal size) and distinct
+    let sets: Vec<u64> = k_subsets(k, k / 2).take(n).collect();
+    let mut colors = vec![usize::MAX; n * n];
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let diff = sets[a] & !sets[b];
+            debug_assert!(diff != 0, "antichain: S_a never a subset of S_b");
+            colors[pair_id(a, b, n)] = diff.trailing_zeros() as usize;
+        }
+    }
+    (k, colors)
+}
+
+/// Verify a dense pair-coloring of `S(n)` is proper: adjacent pairs
+/// `(a,b)`, `(b,c)` always carry different colors.
+pub fn shift_coloring_is_proper(n: usize, colors: &[usize]) -> bool {
+    assert_eq!(colors.len(), n * n, "dense coloring size mismatch");
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            for c in 0..n {
+                if c == b {
+                    continue;
+                }
+                if colors[pair_id(a, b, n)] == colors[pair_id(b, c, n)] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+fn binomial(k: usize, r: usize) -> u128 {
+    let mut out: u128 = 1;
+    for i in 0..r {
+        out = out * (k - i) as u128 / (i + 1) as u128;
+    }
+    out
+}
+
+/// Iterator over all `r`-subsets of `{0..k}` as bitmasks, in ascending
+/// numeric (combinatorial) order.
+fn k_subsets(k: usize, r: usize) -> impl Iterator<Item = u64> {
+    let end = 1u64 << k;
+    let start = if r == 0 { 0 } else { (1u64 << r) - 1 };
+    std::iter::successors(Some(start), move |&v| {
+        if v == 0 {
+            return None; // r == 0: single empty subset
+        }
+        // Gosper's hack: next bit-permutation with the same popcount
+        let c = v & v.wrapping_neg();
+        let rr = v + c;
+        let next = (((rr ^ v) >> 2) / c) | rr;
+        (next < end).then_some(next)
+    })
+    .take_while(move |&v| v < end)
+}
+
+/// Naive greedy coloring of the shift graph `S(n)` in pair order;
+/// returns the number of colors used. Deliberately structure-blind — an
+/// ablation showing greedy alone can burn Θ(n) colors.
+pub fn greedy_shift_coloring(n: usize) -> usize {
+    let mut color = vec![usize::MAX; n * n];
+    let mut used = 0usize;
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            // neighbors: (b, c) for all c, and (c, a) for all c
+            let mut forbidden = vec![false; used + 1];
+            for c in 0..n {
+                if c != b {
+                    let cc = color[pair_id(b, c, n)];
+                    if cc != usize::MAX && cc < forbidden.len() {
+                        forbidden[cc] = true;
+                    }
+                }
+                if c != a {
+                    let cc = color[pair_id(c, a, n)];
+                    if cc != usize::MAX && cc < forbidden.len() {
+                        forbidden[cc] = true;
+                    }
+                }
+            }
+            let chosen = (0..).find(|&k| k >= forbidden.len() || !forbidden[k]).unwrap();
+            color[pair_id(a, b, n)] = chosen;
+            used = used.max(chosen + 1);
+        }
+    }
+    used
+}
+
+/// Exact chromatic number of `S(n)` by branch and bound — exponential;
+/// intended for `n ≤ 5` (20 vertices) where it still answers instantly.
+///
+/// # Panics
+///
+/// Panics if `n > 6` (the search space explodes) or `n < 2`.
+pub fn exact_shift_chromatic(n: usize) -> usize {
+    assert!((2..=6).contains(&n), "exact search limited to 2 ≤ n ≤ 6");
+    // enumerate vertices (pairs) and adjacency
+    let mut verts = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            if a != b {
+                verts.push((a, b));
+            }
+        }
+    }
+    let m = verts.len();
+    let mut adj = vec![Vec::new(); m];
+    for (i, &(_, b1)) in verts.iter().enumerate() {
+        for (j, &(a2, _)) in verts.iter().enumerate() {
+            if i != j && b1 == a2 {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    for l in adj.iter_mut() {
+        l.sort_unstable();
+        l.dedup();
+    }
+
+    fn feasible(k: usize, adj: &[Vec<usize>], colors: &mut [usize], v: usize) -> bool {
+        if v == colors.len() {
+            return true;
+        }
+        // symmetry breaking: vertex v may use colors 0..=min(v, k-1)
+        let max_c = k.min(v + 1);
+        for c in 0..max_c {
+            if adj[v].iter().all(|&u| colors[u] != c) {
+                colors[v] = c;
+                if feasible(k, adj, colors, v + 1) {
+                    return true;
+                }
+                colors[v] = usize::MAX;
+            }
+        }
+        false
+    }
+
+    for k in 1..=m {
+        let mut colors = vec![usize::MAX; m];
+        if feasible(k, &adj, &mut colors, 0) {
+            return k;
+        }
+    }
+    unreachable!("m colors always suffice")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmatch_bits::ilog2_ceil;
+
+    #[test]
+    fn f_respects_lemma1_on_the_full_shift_graph() {
+        for n in [4usize, 8, 16, 64, 256, 1024] {
+            let log_n = ilog2_ceil(n as u64) as usize;
+            for variant in [CoinVariant::Msb, CoinVariant::Lsb] {
+                let sets = f_set_count(n, variant);
+                assert!(sets <= 2 * log_n, "n={n} {variant:?}: {sets} > {}", 2 * log_n);
+                // and it is tight: exactly 2·log n for powers of two
+                assert_eq!(sets, 2 * log_n, "n={n} {variant:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_is_structure_blind() {
+        // order-oblivious greedy sits between the log n floor and 2n —
+        // far above the Sperner construction: the ablation point.
+        for n in [4usize, 8, 16, 32, 64] {
+            let log_n = ilog2_ceil(n as u64) as usize;
+            let g = greedy_shift_coloring(n);
+            assert!(g >= log_n, "n={n}: greedy {g} below the log n floor");
+            assert!(g <= 2 * n, "n={n}: greedy {g} above the trivial 2n bound");
+            let (k, _) = sperner_shift_coloring(n);
+            assert!(g >= k, "n={n}: greedy {g} beat sperner {k}?");
+        }
+    }
+
+    #[test]
+    fn sperner_coloring_is_proper_and_log_sized() {
+        for n in [2usize, 3, 4, 8, 16, 64, 200, 256] {
+            let (k, colors) = sperner_shift_coloring(n);
+            assert!(shift_coloring_is_proper(n, &colors), "n={n}");
+            let log_n = ilog2_ceil(n as u64) as usize;
+            assert!(k >= log_n, "n={n}: k={k} below log n");
+            assert!(
+                k <= log_n + 4,
+                "n={n}: k={k} not within log n + O(log log n) of {log_n}"
+            );
+            // the Remark: the construction beats f's 2·log n for larger n
+            if n >= 64 {
+                assert!(k < 2 * log_n, "n={n}: k={k} vs f's {}", 2 * log_n);
+            }
+        }
+    }
+
+    #[test]
+    fn sperner_uses_at_most_k_colors() {
+        let (k, colors) = sperner_shift_coloring(100);
+        let max = colors.iter().filter(|&&c| c != usize::MAX).max().unwrap();
+        assert!(*max < k, "color {max} exceeds palette {k}");
+    }
+
+    #[test]
+    fn subsets_iterator_counts() {
+        assert_eq!(k_subsets(5, 2).count(), 10);
+        assert_eq!(k_subsets(6, 3).count(), 20);
+        assert_eq!(k_subsets(3, 0).count(), 1);
+        assert!(k_subsets(6, 3).all(|v| v.count_ones() == 3));
+        // strictly increasing (distinctness)
+        let v: Vec<u64> = k_subsets(7, 3).collect();
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(10, 5), 252);
+        assert_eq!(binomial(4, 0), 1);
+    }
+
+    #[test]
+    fn exact_chromatic_small() {
+        // χ(S(2)) = 2: pairs (0,1),(1,0) are adjacent both ways.
+        assert_eq!(exact_shift_chromatic(2), 2);
+        // χ(S(n)) is the minimum k with n ≤ 2^k choose-down (Erdős–
+        // Hajnal): 3 colors suffice for n ≤ C(3, ≤): verify monotone
+        // growth and the ceil(log) floor empirically.
+        let x3 = exact_shift_chromatic(3);
+        let x4 = exact_shift_chromatic(4);
+        let x5 = exact_shift_chromatic(5);
+        assert!(x3 >= 2 && x4 >= x3 && x5 >= x4, "{x3} {x4} {x5}");
+        assert!(x5 <= 4);
+        // the Remark's floor: χ(S(n)) ≥ ceil(log2 n)
+        assert!(x4 as u32 >= ilog2_ceil(4));
+        assert!(x5 as u32 >= ilog2_ceil(5));
+    }
+
+    #[test]
+    fn greedy_never_beats_exact() {
+        for n in 2..=5 {
+            assert!(greedy_shift_coloring(n) >= exact_shift_chromatic(n), "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn exact_refuses_large_n() {
+        exact_shift_chromatic(10);
+    }
+}

@@ -1,0 +1,157 @@
+//! Structural validation of linked lists.
+
+use crate::list::{LinkedList, NodeId, NIL};
+
+/// Ways a `NEXT`-array can fail to describe a single simple chain over
+/// all nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListError {
+    /// Two nodes point at the same successor.
+    SharedSuccessor {
+        /// The node pointed at twice.
+        target: NodeId,
+    },
+    /// The walk from the head revisited a node (a cycle).
+    Cycle {
+        /// First node seen twice.
+        node: NodeId,
+    },
+    /// The walk from the head terminated before visiting all nodes.
+    Unreachable {
+        /// Number of nodes actually reached.
+        reached: usize,
+        /// Total number of nodes.
+        total: usize,
+    },
+    /// Some node points at the head (the head must have no predecessor).
+    HeadHasPredecessor {
+        /// The offending predecessor.
+        pred: NodeId,
+    },
+}
+
+impl std::fmt::Display for ListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ListError::SharedSuccessor { target } => {
+                write!(f, "two nodes share successor {target}")
+            }
+            ListError::Cycle { node } => write!(f, "cycle detected at node {node}"),
+            ListError::Unreachable { reached, total } => {
+                write!(f, "only {reached} of {total} nodes reachable from head")
+            }
+            ListError::HeadHasPredecessor { pred } => {
+                write!(f, "head has predecessor {pred}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ListError {}
+
+/// Check that the list is a single simple chain visiting every node
+/// exactly once, starting at the head and ending at [`NIL`].
+pub fn validate(list: &LinkedList) -> Result<(), ListError> {
+    let n = list.len();
+    if n == 0 {
+        return Ok(());
+    }
+    // Injectivity & head-freeness in one pass.
+    let mut indegree = vec![0u8; n];
+    for &v in list.next_array().iter() {
+        if v != NIL {
+            if indegree[v as usize] == 1 {
+                return Err(ListError::SharedSuccessor { target: v });
+            }
+            indegree[v as usize] = 1;
+        }
+    }
+    if indegree[list.head() as usize] == 1 {
+        // find the offender for the error message
+        let pred = list
+            .next_array()
+            .iter()
+            .position(|&v| v == list.head())
+            .unwrap() as NodeId;
+        return Err(ListError::HeadHasPredecessor { pred });
+    }
+    // Walk from the head; count and cycle-check.
+    let mut seen = vec![false; n];
+    let mut v = list.head();
+    let mut reached = 0usize;
+    while v != NIL {
+        if seen[v as usize] {
+            return Err(ListError::Cycle { node: v });
+        }
+        seen[v as usize] = true;
+        reached += 1;
+        v = list.next_raw(v);
+    }
+    if reached != n {
+        return Err(ListError::Unreachable { reached, total: n });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::LinkedList;
+
+    #[test]
+    fn valid_list_passes() {
+        let l = LinkedList::from_order(&[2, 0, 1]);
+        assert_eq!(validate(&l), Ok(()));
+    }
+
+    #[test]
+    fn shared_successor_detected() {
+        // 0 -> 2, 1 -> 2: node 2 pointed at twice
+        let l = LinkedList::from_parts(vec![2, 2, NIL], 0);
+        assert_eq!(validate(&l), Err(ListError::SharedSuccessor { target: 2 }));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        // 0 -> 1 -> 0 with node 2 dangling; head = 2 so 2 -> 0 -> 1 -> 0
+        let l = LinkedList::from_parts(vec![1, 0, 0], 2);
+        // next is not injective here (0 pointed at by 1 and 2)
+        assert!(matches!(
+            validate(&l),
+            Err(ListError::SharedSuccessor { .. })
+        ));
+        // a pure cycle: 0 -> 1 -> 2 -> 0, head 0 (head has pred 2)
+        let l2 = LinkedList::from_parts(vec![1, 2, 0], 0);
+        assert_eq!(validate(&l2), Err(ListError::HeadHasPredecessor { pred: 2 }));
+    }
+
+    #[test]
+    fn unreachable_detected() {
+        // 0 -> NIL, 1 -> NIL? that's shared NIL which is fine; walk from 0
+        // reaches 1 of 2 nodes.
+        let l = LinkedList::from_parts(vec![NIL, NIL], 0);
+        assert_eq!(
+            validate(&l),
+            Err(ListError::Unreachable { reached: 1, total: 2 })
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        let msgs = [
+            ListError::SharedSuccessor { target: 3 }.to_string(),
+            ListError::Cycle { node: 1 }.to_string(),
+            ListError::Unreachable { reached: 1, total: 5 }.to_string(),
+            ListError::HeadHasPredecessor { pred: 2 }.to_string(),
+        ];
+        assert!(msgs[0].contains("successor 3"));
+        assert!(msgs[1].contains("node 1"));
+        assert!(msgs[2].contains("1 of 5"));
+        assert!(msgs[3].contains("predecessor 2"));
+    }
+
+    #[test]
+    fn empty_is_valid() {
+        assert_eq!(validate(&LinkedList::from_order(&[])), Ok(()));
+    }
+}

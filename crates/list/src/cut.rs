@@ -1,0 +1,228 @@
+//! Cutting a list into sublists and walking them.
+//!
+//! Step 3 of Match1 deletes a subset of pointers, cutting the list *"into
+//! many sublists each of them has constant number of nodes"*; step 4 then
+//! walks down each sublist adding every other pointer to the matching.
+//! The deleted set is represented here as a boolean *cut mask* over
+//! pointer tails: `cut[v] == true` means the pointer `<v, suc(v)>` has
+//! been deleted.
+
+use crate::list::{LinkedList, NodeId, NIL};
+use rayon::prelude::*;
+
+/// The decomposition of a list induced by a cut mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sublists {
+    /// First node of each sublist, in ascending node order (plus the
+    /// list head first if not already minimal). One entry per sublist.
+    pub heads: Vec<NodeId>,
+}
+
+impl Sublists {
+    /// Number of sublists.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.heads.len()
+    }
+}
+
+/// Heads of the sublists induced by `cut`: the list head plus every node
+/// that follows a deleted pointer. Runs in parallel over the mask — on
+/// the PRAM this is a single step.
+///
+/// # Panics
+///
+/// Panics if `cut.len() != list.len()`.
+pub fn sublist_heads(list: &LinkedList, cut: &[bool]) -> Vec<NodeId> {
+    assert_eq!(cut.len(), list.len(), "cut mask length mismatch");
+    if list.is_empty() {
+        return Vec::new();
+    }
+    let mut heads: Vec<NodeId> = cut
+        .par_iter()
+        .enumerate()
+        .filter_map(|(v, &c)| {
+            if !c {
+                return None;
+            }
+            match list.next_raw(v as NodeId) {
+                NIL => None,
+                w => Some(w),
+            }
+        })
+        .collect();
+    heads.push(list.head());
+    heads.par_sort_unstable();
+    heads.dedup();
+    heads
+}
+
+/// Cut the list with `cut` and return the sublist decomposition.
+pub fn cut_at(list: &LinkedList, cut: &[bool]) -> Sublists {
+    Sublists { heads: sublist_heads(list, cut) }
+}
+
+/// Walk every sublist in parallel, invoking `f(tail, head, offset)` for
+/// each *surviving* pointer `<tail, head>`, where `offset` is the
+/// pointer's 0-based position within its sublist.
+///
+/// The walk of one sublist is sequential (that is the point of step 4:
+/// sublists are constant-length, so a processor walks each in O(1));
+/// distinct sublists run concurrently.
+///
+/// # Panics
+///
+/// Panics if `cut.len() != list.len()`.
+pub fn walk_sublists<F>(list: &LinkedList, cut: &[bool], f: F)
+where
+    F: Fn(NodeId, NodeId, usize) + Sync,
+{
+    assert_eq!(cut.len(), list.len(), "cut mask length mismatch");
+    let heads = sublist_heads(list, cut);
+    heads.par_iter().for_each(|&h| {
+        let mut v = h;
+        let mut offset = 0usize;
+        loop {
+            if cut[v as usize] {
+                break; // pointer out of v deleted: sublist ends here
+            }
+            match list.next_raw(v) {
+                NIL => break,
+                w => {
+                    f(v, w, offset);
+                    offset += 1;
+                    v = w;
+                }
+            }
+        }
+    });
+}
+
+/// Lengths (in nodes) of all sublists, for diagnostics: Match1's
+/// correctness argument needs these to be bounded by a constant.
+pub fn sublist_lengths(list: &LinkedList, cut: &[bool]) -> Vec<usize> {
+    assert_eq!(cut.len(), list.len(), "cut mask length mismatch");
+    let heads = sublist_heads(list, cut);
+    heads
+        .par_iter()
+        .map(|&h| {
+            let mut v = h;
+            let mut len = 1usize;
+            loop {
+                if cut[v as usize] {
+                    break;
+                }
+                match list.next_raw(v) {
+                    NIL => break,
+                    w => {
+                        len += 1;
+                        v = w;
+                    }
+                }
+            }
+            len
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_list;
+    use parking_lot_free::Collector;
+
+    /// Tiny lock-free collector for test assertions (avoid dev-dep).
+    mod parking_lot_free {
+        use std::sync::Mutex;
+
+        pub struct Collector<T>(Mutex<Vec<T>>);
+        impl<T> Default for Collector<T> {
+            fn default() -> Self {
+                Self(Mutex::new(Vec::new()))
+            }
+        }
+        impl<T> Collector<T> {
+            pub fn push(&self, v: T) {
+                self.0.lock().unwrap().push(v);
+            }
+            pub fn into_vec(self) -> Vec<T> {
+                self.0.into_inner().unwrap()
+            }
+        }
+    }
+
+    #[test]
+    fn no_cuts_single_sublist() {
+        let l = LinkedList::from_order(&[2, 0, 1, 3]);
+        let cut = vec![false; 4];
+        let s = cut_at(&l, &cut);
+        assert_eq!(s.heads, vec![2]);
+        assert_eq!(s.count(), 1);
+        assert_eq!(sublist_lengths(&l, &cut), vec![4]);
+    }
+
+    #[test]
+    fn cut_every_pointer() {
+        let l = LinkedList::from_order(&[2, 0, 1, 3]);
+        let cut = vec![true; 4];
+        let s = cut_at(&l, &cut);
+        assert_eq!(s.count(), 4);
+        let lens = sublist_lengths(&l, &cut);
+        assert!(lens.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn walk_reports_offsets() {
+        // order: 0 -> 1 -> 2 -> 3 -> 4, cut pointer out of 2
+        let l = LinkedList::from_order(&[0, 1, 2, 3, 4]);
+        let mut cut = vec![false; 5];
+        cut[2] = true;
+        let seen = Collector::default();
+        walk_sublists(&l, &cut, |a, b, off| seen.push((a, b, off)));
+        let mut got = seen.into_vec();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![(0, 1, 0), (1, 2, 1), (3, 4, 0)]
+        );
+    }
+
+    #[test]
+    fn walk_covers_all_surviving_pointers() {
+        let l = random_list(500, 11);
+        // cut every third tail node
+        let cut: Vec<bool> = (0..500).map(|v| v % 3 == 0).collect();
+        let seen = Collector::default();
+        walk_sublists(&l, &cut, |a, _b, _off| seen.push(a));
+        let mut got = seen.into_vec();
+        got.sort();
+        let mut expected: Vec<_> = l
+            .pointers()
+            .filter(|p| !cut[p.tail as usize])
+            .map(|p| p.tail)
+            .collect();
+        expected.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn lengths_sum_to_n() {
+        let l = random_list(300, 5);
+        let cut: Vec<bool> = (0..300).map(|v| v % 7 == 0).collect();
+        let lens = sublist_lengths(&l, &cut);
+        assert_eq!(lens.iter().sum::<usize>(), 300);
+    }
+
+    #[test]
+    fn empty_list_no_sublists() {
+        let l = LinkedList::from_order(&[]);
+        assert_eq!(cut_at(&l, &[]).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mask_length_mismatch_panics() {
+        let l = LinkedList::from_order(&[0, 1]);
+        sublist_heads(&l, &[true]);
+    }
+}

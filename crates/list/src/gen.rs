@@ -1,0 +1,215 @@
+//! Workload generators.
+//!
+//! The difficulty of breaking symmetry on a linked list depends on how
+//! the logical order relates to the array layout: a sequential layout
+//! makes every pointer a unit-stride forward pointer, while a uniformly
+//! random permutation is the adversarial case the paper's bounds target.
+//! These generators produce the layout families swept by the experiments;
+//! all are deterministic in their seed.
+
+use crate::list::{LinkedList, NodeId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Uniformly random list: the logical order of the `n` nodes is a
+/// uniformly random permutation of the array slots.
+pub fn random_list(n: usize, seed: u64) -> LinkedList {
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    LinkedList::from_order(&order)
+}
+
+/// Sequential layout: node `i` is followed by node `i+1`. Every pointer
+/// is forward with stride 1 — the easiest symmetry-breaking instance
+/// (`f` uses only the lowest bisecting lines).
+pub fn sequential_list(n: usize) -> LinkedList {
+    let order: Vec<NodeId> = (0..n as NodeId).collect();
+    LinkedList::from_order(&order)
+}
+
+/// Reversed layout: node `n-1` is first, node `0` last. Every pointer is
+/// backward with stride 1.
+pub fn reversed_list(n: usize) -> LinkedList {
+    let order: Vec<NodeId> = (0..n as NodeId).rev().collect();
+    LinkedList::from_order(&order)
+}
+
+/// Blocked layout: the array is divided into blocks of `block` contiguous
+/// slots; within a block the order is sequential, and the blocks
+/// themselves are chained in a random order. Models partially sorted
+/// inputs (e.g. lists built by appending chunks).
+///
+/// # Panics
+///
+/// Panics if `block == 0`.
+pub fn blocked_list(n: usize, block: usize, seed: u64) -> LinkedList {
+    assert!(block > 0, "block size must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_blocks = n.div_ceil(block);
+    let mut block_order: Vec<usize> = (0..n_blocks).collect();
+    block_order.shuffle(&mut rng);
+    let mut order = Vec::with_capacity(n);
+    for b in block_order {
+        let lo = b * block;
+        let hi = (lo + block).min(n);
+        order.extend((lo..hi).map(|i| i as NodeId));
+    }
+    LinkedList::from_order(&order)
+}
+
+/// Strided layout: visits slots `0, s, 2s, … (mod n)` — well defined when
+/// `gcd(s, n) = 1`. Exercises a fixed set of bisecting lines, the
+/// structured counterpart to [`random_list`].
+///
+/// # Panics
+///
+/// Panics if `n > 0` and `gcd(stride, n) != 1`.
+pub fn strided_list(n: usize, stride: usize) -> LinkedList {
+    if n == 0 {
+        return LinkedList::from_order(&[]);
+    }
+    assert_eq!(gcd(stride, n), 1, "stride {stride} not coprime with n={n}");
+    let mut order = Vec::with_capacity(n);
+    let mut pos = 0usize;
+    for _ in 0..n {
+        order.push(pos as NodeId);
+        pos = (pos + stride) % n;
+    }
+    LinkedList::from_order(&order)
+}
+
+/// Bit-reversal layout: the logical order visits slot `rev_k(i)` at
+/// position `i`, where `rev_k` reverses the `k = log₂ n` address bits.
+/// Every pointer's stride is large and structured — the classic
+/// adversarial locality pattern, and a layout where the matching
+/// partition function's "crossed bisecting line" is maximal for half
+/// the pointers.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two (the permutation needs a full
+/// bit-width).
+pub fn bit_reversal_list(n: usize) -> LinkedList {
+    if n == 0 {
+        return LinkedList::from_order(&[]);
+    }
+    assert!(n.is_power_of_two(), "bit-reversal layout needs a power-of-two n (got {n})");
+    let k = n.trailing_zeros();
+    let order: Vec<NodeId> = (0..n as u32)
+        .map(|i| {
+            if k == 0 {
+                0
+            } else {
+                (i.reverse_bits() >> (32 - k)) as NodeId
+            }
+        })
+        .collect();
+    LinkedList::from_order(&order)
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::validate;
+
+    #[test]
+    fn random_list_is_valid_and_deterministic() {
+        let a = random_list(1000, 42);
+        let b = random_list(1000, 42);
+        let c = random_list(1000, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        validate(&a).unwrap();
+        validate(&c).unwrap();
+    }
+
+    #[test]
+    fn sequential_and_reversed() {
+        let s = sequential_list(10);
+        validate(&s).unwrap();
+        assert!(s.pointers().all(|p| p.is_forward() && p.head == p.tail + 1));
+        let r = reversed_list(10);
+        validate(&r).unwrap();
+        assert!(r.pointers().all(|p| !p.is_forward() && p.tail == p.head + 1));
+    }
+
+    #[test]
+    fn blocked_structure() {
+        let l = blocked_list(100, 10, 7);
+        validate(&l).unwrap();
+        // at least 90 of the 99 pointers are unit-stride forward
+        let unit = l.pointers().filter(|p| p.head == p.tail + 1).count();
+        assert!(unit >= 90, "unit-stride pointers: {unit}");
+    }
+
+    #[test]
+    fn blocked_with_ragged_tail() {
+        let l = blocked_list(23, 5, 1);
+        validate(&l).unwrap();
+        assert_eq!(l.len(), 23);
+    }
+
+    #[test]
+    fn strided_valid() {
+        let l = strided_list(16, 5);
+        validate(&l).unwrap();
+        assert_eq!(l.head(), 0);
+        assert_eq!(l.next(0), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "coprime")]
+    fn strided_non_coprime_panics() {
+        strided_list(16, 4);
+    }
+
+    #[test]
+    fn bit_reversal_valid_and_involutive() {
+        for k in [0u32, 1, 4, 10] {
+            let n = 1usize << k;
+            let l = bit_reversal_list(n);
+            validate(&l).unwrap();
+            assert_eq!(l.len(), n);
+        }
+        // order is the bit-reversal permutation: applying it twice to
+        // positions gives back the identity
+        let l = bit_reversal_list(16);
+        let order = l.order();
+        for (i, &v) in order.iter().enumerate() {
+            assert_eq!(order[v as usize], i as NodeId, "involution at {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn bit_reversal_rejects_non_pow2() {
+        bit_reversal_list(12);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        for f in [
+            random_list as fn(usize, u64) -> LinkedList,
+        ] {
+            for n in [0usize, 1, 2] {
+                validate(&f(n, 0)).unwrap();
+            }
+        }
+        validate(&sequential_list(0)).unwrap();
+        validate(&sequential_list(1)).unwrap();
+        validate(&reversed_list(0)).unwrap();
+        validate(&blocked_list(0, 4, 0)).unwrap();
+        validate(&strided_list(0, 3)).unwrap();
+        validate(&strided_list(1, 1)).unwrap();
+    }
+}

@@ -1,0 +1,37 @@
+//! Array-stored linked-list substrate.
+//!
+//! The paper's input model (Fig. 1) is a linked list of `n` nodes stored
+//! in an array `X[0..n-1]` with a pointer array `NEXT[0..n-1]`;
+//! `NEXT[i]` holds the array index of the element following `X[i]`. The
+//! *addresses* the matching partition functions operate on are these
+//! array indices, so the list's layout in the array — not its logical
+//! order — determines which pointers are "forward" and which bisecting
+//! lines they cross.
+//!
+//! This crate provides:
+//!
+//! * [`LinkedList`] — the representation, with successor/predecessor
+//!   queries and pointer enumeration ([`list`]);
+//! * workload generators covering the layouts exercised in the
+//!   experiments: uniformly random permutations, sequential, reversed,
+//!   blocked and strided layouts ([`gen`]);
+//! * structural validation ([`check`]);
+//! * sublist cutting and walking utilities used by steps 3–4 of Match1
+//!   ([`cut`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod cut;
+pub mod gen;
+pub mod io;
+pub mod list;
+
+pub use check::{validate, ListError};
+pub use cut::{cut_at, sublist_heads, walk_sublists, Sublists};
+pub use gen::{
+    bit_reversal_list, blocked_list, random_list, reversed_list, sequential_list, strided_list,
+};
+pub use io::{from_text, to_text};
+pub use list::{LinkedList, NodeId, Pointer, NIL};

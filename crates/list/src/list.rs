@@ -1,0 +1,358 @@
+//! The linked-list-in-array representation of Fig. 1.
+
+use rayon::prelude::*;
+
+/// Array index of a list node. The paper's "addresses" are exactly these
+/// indices; 32 bits comfortably cover the problem sizes of the
+/// experiments (`n ≤ 2^26`) at half the memory traffic of `usize`.
+pub type NodeId = u32;
+
+/// Sentinel marking "no node" — the `nil` terminator of Fig. 1.
+pub const NIL: NodeId = NodeId::MAX;
+
+/// A pointer `<a, b>`: value `b` stored in location `NEXT[a]`.
+/// `b` is the *head* of the pointer and `a` the *tail* (paper, Section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pointer {
+    /// Tail node `a` (the pointer lives in `NEXT[a]`).
+    pub tail: NodeId,
+    /// Head node `b = NEXT[a]`.
+    pub head: NodeId,
+}
+
+impl Pointer {
+    /// A pointer is *forward* if its head lies at a higher array address
+    /// than its tail (`b > a`), otherwise *backward*.
+    #[inline]
+    pub fn is_forward(self) -> bool {
+        self.head > self.tail
+    }
+}
+
+/// A linked list of `n` nodes stored in an array, i.e. the `NEXT[0..n-1]`
+/// array of Fig. 1 plus the index of the first element.
+///
+/// Invariants (checked by [`crate::check::validate`] and upheld by the
+/// generators):
+///
+/// * starting from `head` and following `next` visits every node exactly
+///   once and ends at [`NIL`];
+/// * equivalently, `next` restricted to non-tail nodes is injective.
+///
+/// # Examples
+///
+/// ```
+/// use parmatch_list::LinkedList;
+/// // list order: 2 -> 0 -> 1
+/// let l = LinkedList::from_order(&[2, 0, 1]);
+/// assert_eq!(l.len(), 3);
+/// assert_eq!(l.head(), 2);
+/// assert_eq!(l.next(2), Some(0));
+/// assert_eq!(l.next(1), None);
+/// assert_eq!(l.pointers().count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkedList {
+    next: Vec<NodeId>,
+    head: NodeId,
+}
+
+impl LinkedList {
+    /// Build a list directly from a `NEXT` array and a head index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head` is out of range for a non-empty `next`, or if any
+    /// entry of `next` is neither [`NIL`] nor a valid index. Structural
+    /// validity (single chain, no sharing) is *not* checked here — use
+    /// [`crate::check::validate`] for that.
+    pub fn from_parts(next: Vec<NodeId>, head: NodeId) -> Self {
+        let n = next.len();
+        if n == 0 {
+            assert_eq!(head, NIL, "empty list must have NIL head");
+        } else {
+            assert!((head as usize) < n, "head {head} out of range for n={n}");
+            for (i, &nx) in next.iter().enumerate() {
+                assert!(
+                    nx == NIL || (nx as usize) < n,
+                    "next[{i}] = {nx} out of range for n={n}"
+                );
+            }
+        }
+        Self { next, head }
+    }
+
+    /// Build a list whose logical order is `order[0], order[1], …` —
+    /// `order` must be a permutation of `0..order.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation.
+    pub fn from_order(order: &[NodeId]) -> Self {
+        let n = order.len();
+        if n == 0 {
+            return Self { next: Vec::new(), head: NIL };
+        }
+        let mut next = vec![NIL; n];
+        let mut seen = vec![false; n];
+        for &v in order {
+            let v = v as usize;
+            assert!(v < n, "order entry {v} out of range");
+            assert!(!seen[v], "order entry {v} repeated");
+            seen[v] = true;
+        }
+        for w in order.windows(2) {
+            next[w[0] as usize] = w[1];
+        }
+        Self { next, head: order[0] }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.next.len()
+    }
+
+    /// True iff the list has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.next.is_empty()
+    }
+
+    /// Index of the first element, or [`NIL`] for an empty list.
+    #[inline]
+    pub fn head(&self) -> NodeId {
+        self.head
+    }
+
+    /// The raw `NEXT` array.
+    #[inline]
+    pub fn next_array(&self) -> &[NodeId] {
+        &self.next
+    }
+
+    /// Successor of `v` (`suc(v)` in the paper), or `None` at the tail.
+    #[inline]
+    pub fn next(&self, v: NodeId) -> Option<NodeId> {
+        match self.next[v as usize] {
+            NIL => None,
+            w => Some(w),
+        }
+    }
+
+    /// Raw successor entry: the contents of `NEXT[v]`, possibly [`NIL`].
+    #[inline]
+    pub fn next_raw(&self, v: NodeId) -> NodeId {
+        self.next[v as usize]
+    }
+
+    /// Cyclic successor: `suc(v)`, except that the tail wraps to the head.
+    ///
+    /// This is the paper's convention for evaluating `f` at the last
+    /// element: *"If a is the last element in the list, we can define
+    /// f(a, suc(a)) = f(a, b), where b is the first element"*.
+    #[inline]
+    pub fn next_cyclic(&self, v: NodeId) -> NodeId {
+        match self.next[v as usize] {
+            NIL => self.head,
+            w => w,
+        }
+    }
+
+    /// Index of the last element (the node whose `NEXT` is [`NIL`]),
+    /// computed by scanning; `None` for an empty list.
+    pub fn tail(&self) -> Option<NodeId> {
+        self.next
+            .iter()
+            .position(|&nx| nx == NIL)
+            .map(|i| i as NodeId)
+    }
+
+    /// Predecessor array: `pred[v] = u` iff `next[u] = v`, [`NIL`] for
+    /// the head. Computed in parallel — on the PRAM this is one EREW step
+    /// (`pred[next[u]] := u` with distinct targets).
+    pub fn pred_array(&self) -> Vec<NodeId> {
+        let n = self.len();
+        let mut pred = vec![NIL; n];
+        // Writes are disjoint because next is injective on non-tail
+        // nodes; express it as an index computation to stay in safe Rust.
+        let mut pairs: Vec<(NodeId, NodeId)> = self
+            .next
+            .par_iter()
+            .enumerate()
+            .filter_map(|(u, &v)| (v != NIL).then_some((v, u as NodeId)))
+            .collect();
+        pairs.par_sort_unstable();
+        for (v, u) in pairs {
+            pred[v as usize] = u;
+        }
+        pred
+    }
+
+    /// The nodes in logical list order (sequential walk from the head).
+    pub fn order(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut v = self.head;
+        while v != NIL {
+            out.push(v);
+            v = self.next[v as usize];
+        }
+        out
+    }
+
+    /// Rank of every node: `rank[v]` = number of nodes strictly after `v`
+    /// in list order (the classic list-ranking output; tail has rank 0).
+    /// Sequential reference implementation used as ground truth in tests.
+    pub fn ranks_seq(&self) -> Vec<u64> {
+        let order = self.order();
+        let n = order.len();
+        let mut ranks = vec![0u64; self.len()];
+        for (pos, &v) in order.iter().enumerate() {
+            ranks[v as usize] = (n - 1 - pos) as u64;
+        }
+        ranks
+    }
+
+    /// Iterator over the `n-1` real pointers `<a, b>` of the list, in
+    /// array order of the tail `a`.
+    pub fn pointers(&self) -> impl Iterator<Item = Pointer> + '_ {
+        self.next
+            .iter()
+            .enumerate()
+            .filter_map(|(a, &b)| (b != NIL).then_some(Pointer { tail: a as NodeId, head: b }))
+    }
+
+    /// Parallel iterator over the real pointers.
+    pub fn par_pointers(&self) -> impl ParallelIterator<Item = Pointer> + '_ {
+        self.next
+            .par_iter()
+            .enumerate()
+            .filter_map(|(a, &b)| (b != NIL).then_some(Pointer { tail: a as NodeId, head: b }))
+    }
+
+    /// Number of pointers (`n-1` for non-empty lists, 0 otherwise).
+    #[inline]
+    pub fn pointer_count(&self) -> usize {
+        self.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LinkedList {
+        // order: 3 -> 1 -> 4 -> 0 -> 2
+        LinkedList::from_order(&[3, 1, 4, 0, 2])
+    }
+
+    #[test]
+    fn from_order_builds_chain() {
+        let l = sample();
+        assert_eq!(l.head(), 3);
+        assert_eq!(l.order(), vec![3, 1, 4, 0, 2]);
+        assert_eq!(l.tail(), Some(2));
+        assert_eq!(l.len(), 5);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn next_and_cyclic() {
+        let l = sample();
+        assert_eq!(l.next(3), Some(1));
+        assert_eq!(l.next(2), None);
+        assert_eq!(l.next_cyclic(2), 3);
+        assert_eq!(l.next_cyclic(4), 0);
+        assert_eq!(l.next_raw(2), NIL);
+    }
+
+    #[test]
+    fn pred_array_inverts_next() {
+        let l = sample();
+        let pred = l.pred_array();
+        assert_eq!(pred[3usize], NIL);
+        assert_eq!(pred[1usize], 3);
+        assert_eq!(pred[4usize], 1);
+        assert_eq!(pred[0usize], 4);
+        assert_eq!(pred[2usize], 0);
+    }
+
+    #[test]
+    fn pointers_enumerate_all() {
+        let l = sample();
+        let ptrs: Vec<_> = l.pointers().collect();
+        assert_eq!(ptrs.len(), 4);
+        for p in &ptrs {
+            assert_eq!(l.next(p.tail), Some(p.head));
+        }
+        let par: Vec<_> = {
+            let mut v: Vec<_> = l.par_pointers().collect();
+            v.sort();
+            v
+        };
+        let mut seq = ptrs.clone();
+        seq.sort();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn forward_backward() {
+        assert!(Pointer { tail: 1, head: 4 }.is_forward());
+        assert!(!Pointer { tail: 4, head: 0 }.is_forward());
+    }
+
+    #[test]
+    fn ranks_seq_ground_truth() {
+        let l = sample();
+        let r = l.ranks_seq();
+        assert_eq!(r[3], 4);
+        assert_eq!(r[1], 3);
+        assert_eq!(r[4], 2);
+        assert_eq!(r[0], 1);
+        assert_eq!(r[2], 0);
+    }
+
+    #[test]
+    fn empty_list() {
+        let l = LinkedList::from_order(&[]);
+        assert!(l.is_empty());
+        assert_eq!(l.head(), NIL);
+        assert_eq!(l.tail(), None);
+        assert_eq!(l.pointer_count(), 0);
+        assert_eq!(l.order(), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn singleton_list() {
+        let l = LinkedList::from_order(&[0]);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.head(), 0);
+        assert_eq!(l.tail(), Some(0));
+        assert_eq!(l.pointer_count(), 0);
+        assert_eq!(l.next_cyclic(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn duplicate_order_panics() {
+        LinkedList::from_order(&[0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_order_panics() {
+        LinkedList::from_order(&[0, 5, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_next_entry_panics() {
+        LinkedList::from_parts(vec![7, NIL], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NIL head")]
+    fn empty_with_head_panics() {
+        LinkedList::from_parts(vec![], 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the linked-list substrate.
+
+use parmatch_list::{
+    blocked_list, cut_at, random_list, sequential_list, strided_list, sublist_heads, validate,
+    LinkedList, NodeId, NIL,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every generator yields a structurally valid list of the right size.
+    #[test]
+    fn generators_valid(n in 0usize..2000, seed in any::<u64>()) {
+        for l in [
+            random_list(n, seed),
+            sequential_list(n),
+            blocked_list(n, 16, seed),
+        ] {
+            prop_assert_eq!(l.len(), n);
+            prop_assert!(validate(&l).is_ok());
+        }
+    }
+
+    /// order() and from_order are inverse.
+    #[test]
+    fn order_roundtrip(n in 1usize..500, seed in any::<u64>()) {
+        let l = random_list(n, seed);
+        let order = l.order();
+        prop_assert_eq!(LinkedList::from_order(&order), l);
+    }
+
+    /// pred is the inverse of next everywhere.
+    #[test]
+    fn pred_inverts_next(n in 1usize..500, seed in any::<u64>()) {
+        let l = random_list(n, seed);
+        let pred = l.pred_array();
+        prop_assert_eq!(pred[l.head() as usize], NIL);
+        for p in l.pointers() {
+            prop_assert_eq!(pred[p.head as usize], p.tail);
+        }
+    }
+
+    /// Ranks are a permutation of 0..n and decrease along the list.
+    #[test]
+    fn ranks_consistent(n in 1usize..500, seed in any::<u64>()) {
+        let l = random_list(n, seed);
+        let r = l.ranks_seq();
+        let mut sorted = r.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n as u64).collect::<Vec<_>>());
+        for p in l.pointers() {
+            prop_assert_eq!(r[p.tail as usize], r[p.head as usize] + 1);
+        }
+    }
+
+    /// Cutting with an arbitrary mask produces exactly
+    /// 1 + #(cut pointers that exist) sublists covering all nodes.
+    #[test]
+    fn cut_counts(n in 2usize..500, seed in any::<u64>(), mask_seed in any::<u64>()) {
+        let l = random_list(n, seed);
+        // pseudo-random mask derived from mask_seed
+        let cut: Vec<bool> = (0..n)
+            .map(|i| {
+                let h = mask_seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((i as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+                h & 4 == 0
+            })
+            .collect();
+        let real_cuts = l
+            .pointers()
+            .filter(|p| cut[p.tail as usize])
+            .count();
+        let s = cut_at(&l, &cut);
+        prop_assert_eq!(s.count(), 1 + real_cuts);
+        let lens = parmatch_list::cut::sublist_lengths(&l, &cut);
+        prop_assert_eq!(lens.iter().sum::<usize>(), n);
+    }
+
+    /// Sublist heads are distinct and include the list head.
+    #[test]
+    fn heads_distinct(n in 1usize..300, seed in any::<u64>()) {
+        let l = random_list(n, seed);
+        let cut: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let heads = sublist_heads(&l, &cut);
+        let mut uniq = heads.clone();
+        uniq.dedup();
+        prop_assert_eq!(&uniq, &heads);
+        prop_assert!(heads.contains(&l.head()));
+        prop_assert!(heads.iter().all(|&h| (h as usize) < n || h == NIL));
+    }
+
+    /// Strided lists with coprime strides are valid.
+    #[test]
+    fn strided_valid(k in 1usize..100) {
+        let n = 2 * k + 1; // odd => stride 2 is coprime
+        let l = strided_list(n, 2);
+        prop_assert!(validate(&l).is_ok());
+    }
+
+    /// A corrupted next entry is caught by validate.
+    #[test]
+    fn corruption_detected(n in 3usize..200, seed in any::<u64>(), victim in 0usize..200) {
+        let l = random_list(n, seed);
+        let victim = (victim % n) as NodeId;
+        let mut next = l.next_array().to_vec();
+        // redirect victim's pointer to the head: either a shared
+        // successor or a premature cycle
+        if next[victim as usize] != NIL && next[victim as usize] != l.head() {
+            next[victim as usize] = l.head();
+            let bad = LinkedList::from_parts(next, l.head());
+            prop_assert!(validate(&bad).is_err());
+        }
+    }
+}

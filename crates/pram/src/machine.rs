@@ -1,0 +1,586 @@
+//! The step engine.
+
+use crate::error::PramError;
+use crate::model::Model;
+use crate::region::Region;
+use crate::stats::Stats;
+use crate::Word;
+use rayon::prelude::*;
+
+/// Whether step barriers enforce the model's legality rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Log every access; reject model-illegal collisions at the barrier.
+    /// Use for correctness arguments and tests.
+    #[default]
+    Checked,
+    /// Skip read logging and legality checks; write collisions resolve
+    /// by lowest processor id (still deterministic). Use for large
+    /// step-count sweeps where the program is already known legal.
+    Fast,
+}
+
+/// Per-processor view of one simulated step: reads against the pre-step
+/// memory image, buffered writes.
+///
+/// Obtained only inside [`Machine::step`]; one instance per virtual
+/// processor per step.
+pub struct ProcCtx<'a> {
+    pid: usize,
+    mem: &'a [Word],
+    log_reads: bool,
+    reads: Vec<usize>,
+    writes: Vec<(usize, Word)>,
+    fault: Option<PramError>,
+}
+
+impl<'a> ProcCtx<'a> {
+    fn new(pid: usize, mem: &'a [Word], log_reads: bool) -> Self {
+        Self { pid, mem, log_reads, reads: Vec::new(), writes: Vec::new(), fault: None }
+    }
+
+    /// This virtual processor's id, `0 ≤ pid < p`.
+    #[inline]
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// Read cell `addr` as of the start of the step.
+    ///
+    /// An out-of-bounds address records a fault (surfaced as the step's
+    /// error) and reads as 0 so the remainder of the closure stays total.
+    #[inline]
+    pub fn read(&mut self, addr: usize) -> Word {
+        if self.fault.is_some() {
+            return 0;
+        }
+        match self.mem.get(addr) {
+            Some(&v) => {
+                if self.log_reads {
+                    self.reads.push(addr);
+                }
+                v
+            }
+            None => {
+                self.fault = Some(PramError::OutOfBounds {
+                    addr,
+                    size: self.mem.len(),
+                    pid: self.pid,
+                });
+                0
+            }
+        }
+    }
+
+    /// Buffer a write of `val` to cell `addr`, applied at the step
+    /// barrier. A processor writing the same cell twice in one step keeps
+    /// its **last** value (sequential semantics within the processor).
+    #[inline]
+    pub fn write(&mut self, addr: usize, val: Word) {
+        if self.fault.is_some() {
+            return;
+        }
+        if addr >= self.mem.len() {
+            self.fault = Some(PramError::OutOfBounds {
+                addr,
+                size: self.mem.len(),
+                pid: self.pid,
+            });
+            return;
+        }
+        self.writes.push((addr, val));
+    }
+
+    /// Memory size in words (host constant, free to consult).
+    #[inline]
+    pub fn mem_size(&self) -> usize {
+        self.mem.len()
+    }
+}
+
+/// One per-processor record produced by a step.
+struct ProcLog {
+    pid: usize,
+    reads: Vec<usize>,
+    writes: Vec<(usize, Word)>,
+    fault: Option<PramError>,
+}
+
+/// A simulated PRAM: shared word memory plus a model and an execution
+/// mode. See the [crate docs](crate) for semantics and an example.
+#[derive(Debug)]
+pub struct Machine {
+    mem: Vec<Word>,
+    model: Model,
+    mode: ExecMode,
+    stats: Stats,
+    trace: Option<crate::trace::Trace>,
+}
+
+impl Machine {
+    /// A machine with `size` words of zeroed shared memory, running in
+    /// [`ExecMode::Checked`].
+    pub fn new(model: Model, size: usize) -> Self {
+        Self {
+            mem: vec![0; size],
+            model,
+            mode: ExecMode::Checked,
+            stats: Stats::default(),
+            trace: None,
+        }
+    }
+
+    /// A machine in [`ExecMode::Fast`].
+    pub fn new_fast(model: Model, size: usize) -> Self {
+        Self {
+            mem: vec![0; size],
+            model,
+            mode: ExecMode::Fast,
+            stats: Stats::default(),
+            trace: None,
+        }
+    }
+
+    /// Start recording one [`crate::trace::StepTrace`] per step.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(crate::trace::Trace::default());
+    }
+
+    /// Stop recording and return the trace collected so far, if any.
+    pub fn take_trace(&mut self) -> Option<crate::trace::Trace> {
+        self.trace.take()
+    }
+
+    /// The trace recorded so far, if tracing is enabled.
+    pub fn trace(&self) -> Option<&crate::trace::Trace> {
+        self.trace.as_ref()
+    }
+
+    /// The machine's model.
+    #[inline]
+    pub fn model(&self) -> Model {
+        self.model
+    }
+
+    /// The machine's execution mode.
+    #[inline]
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Accumulated step/work accounting.
+    #[inline]
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Reset the accounting (memory is left untouched) — used between
+    /// phases when an experiment reports them separately.
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::default();
+    }
+
+    /// Memory size in words.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Grow memory by `len` zeroed words and return the new [`Region`].
+    /// Host-side operation (not a simulated step).
+    pub fn alloc(&mut self, len: usize) -> Region {
+        let base = self.mem.len();
+        self.mem.resize(base + len, 0);
+        Region::new(base, len)
+    }
+
+    /// Host-side read of one cell (not counted as simulated work).
+    #[inline]
+    pub fn peek(&self, addr: usize) -> Word {
+        self.mem[addr]
+    }
+
+    /// Host-side write of one cell (not counted as simulated work).
+    #[inline]
+    pub fn poke(&mut self, addr: usize, val: Word) {
+        self.mem[addr] = val;
+    }
+
+    /// Host-side view of a region's cells.
+    pub fn region_slice(&self, r: Region) -> &[Word] {
+        &self.mem[r.base()..r.base() + r.len()]
+    }
+
+    /// Host-side bulk load into a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != r.len()`.
+    pub fn load_region(&mut self, r: Region, data: &[Word]) {
+        assert_eq!(data.len(), r.len(), "load size mismatch");
+        self.mem[r.base()..r.base() + r.len()].copy_from_slice(data);
+    }
+
+    /// Entire memory image (host-side).
+    pub fn memory(&self) -> &[Word] {
+        &self.mem
+    }
+
+    /// Execute one synchronous step on processors `0..p`.
+    ///
+    /// Every processor's closure runs against the pre-step memory image;
+    /// writes apply at the barrier under the machine's model. On error
+    /// the step still *counts* (the machine attempted it) but **no**
+    /// writes are applied, so the memory is unchanged.
+    pub fn step<F>(&mut self, p: usize, f: F) -> Result<(), PramError>
+    where
+        F: Fn(&mut ProcCtx<'_>) + Sync,
+    {
+        let (r0, w0) = (self.stats.reads, self.stats.writes);
+        let res = self.step_inner(p, f);
+        if let Some(tr) = &mut self.trace {
+            tr.push(crate::trace::StepTrace {
+                procs: p,
+                reads: self.stats.reads - r0,
+                writes: self.stats.writes - w0,
+                failed: res.is_err(),
+            });
+        }
+        res
+    }
+
+    fn step_inner<F>(&mut self, p: usize, f: F) -> Result<(), PramError>
+    where
+        F: Fn(&mut ProcCtx<'_>) + Sync,
+    {
+        let step_idx = self.stats.steps;
+        self.stats.steps += 1;
+        self.stats.work += p as u64;
+
+        let log_reads = self.mode == ExecMode::Checked;
+        let mem = &self.mem;
+        let mut logs: Vec<ProcLog> = (0..p)
+            .into_par_iter()
+            .with_min_len(256)
+            .map(|pid| {
+                let mut ctx = ProcCtx::new(pid, mem, log_reads);
+                f(&mut ctx);
+                ProcLog { pid, reads: ctx.reads, writes: ctx.writes, fault: ctx.fault }
+            })
+            .collect();
+
+        // Surface the lowest-pid fault deterministically.
+        if let Some(log) = logs.iter_mut().find(|l| l.fault.is_some()) {
+            return Err(log.fault.take().expect("fault present"));
+        }
+
+        // Read-conflict detection (checked mode, exclusive-read models).
+        if log_reads {
+            let read_count: usize = logs.iter().map(|l| l.reads.len()).sum();
+            self.stats.reads += read_count as u64;
+            if !self.model.allows_concurrent_read() && read_count > 1 {
+                let mut reads: Vec<(usize, usize)> = logs
+                    .par_iter()
+                    .flat_map_iter(|l| {
+                        // A processor re-reading its own cell is one access
+                        // pattern the EREW model allows (it is still one
+                        // processor at the cell), so dedup within the pid.
+                        let mut rs = l.reads.clone();
+                        rs.sort_unstable();
+                        rs.dedup();
+                        rs.into_iter().map(move |a| (a, l.pid))
+                    })
+                    .collect();
+                reads.par_sort_unstable();
+                for w in reads.windows(2) {
+                    if w[0].0 == w[1].0 {
+                        return Err(PramError::ReadConflict {
+                            model: self.model,
+                            addr: w[0].0,
+                            pids: (w[0].1, w[1].1),
+                            step: step_idx,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Gather writes: (addr, pid, val), sorted so the lowest pid per
+        // address comes first and resolution is deterministic.
+        let mut writes: Vec<(usize, usize, Word)> = logs
+            .par_iter()
+            .flat_map_iter(|l| {
+                // Within a processor, the last write to a cell wins;
+                // iterate in reverse keeping first-seen.
+                let mut seen: Vec<(usize, Word)> = Vec::with_capacity(l.writes.len());
+                for &(a, v) in l.writes.iter().rev() {
+                    if !seen.iter().any(|&(sa, _)| sa == a) {
+                        seen.push((a, v));
+                    }
+                }
+                seen.into_iter().map(move |(a, v)| (a, l.pid, v))
+            })
+            .collect();
+        self.stats.writes += writes.len() as u64;
+        writes.par_sort_unstable();
+
+        if self.mode == ExecMode::Checked {
+            for w in writes.windows(2) {
+                if w[0].0 == w[1].0 {
+                    if !self.model.allows_concurrent_write() {
+                        return Err(PramError::WriteConflict {
+                            model: self.model,
+                            addr: w[0].0,
+                            pids: (w[0].1, w[1].1),
+                            step: step_idx,
+                        });
+                    }
+                    if self.model.requires_common_value() && w[0].2 != w[1].2 {
+                        return Err(PramError::CommonValueMismatch {
+                            addr: w[0].0,
+                            values: (w[0].2, w[1].2),
+                            step: step_idx,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Apply: first (lowest-pid) writer per address wins.
+        let mut last_addr = usize::MAX;
+        for (addr, _pid, val) in writes {
+            if addr != last_addr {
+                self.mem[addr] = val;
+                last_addr = addr;
+            }
+        }
+        Ok(())
+    }
+
+    /// Run `rounds` identical steps (a common pattern for jumping loops).
+    pub fn steps<F>(&mut self, rounds: usize, p: usize, f: F) -> Result<(), PramError>
+    where
+        F: Fn(&mut ProcCtx<'_>) + Sync,
+    {
+        for _ in 0..rounds {
+            self.step(p, &f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_reads_pre_step_state() {
+        // Simultaneous swap: a classic test that reads precede writes.
+        let mut m = Machine::new(Model::Erew, 2);
+        m.poke(0, 10);
+        m.poke(1, 20);
+        m.step(2, |ctx| {
+            let other = 1 - ctx.pid();
+            let v = ctx.read(other);
+            ctx.write(ctx.pid(), v);
+        })
+        .unwrap();
+        assert_eq!(m.peek(0), 20);
+        assert_eq!(m.peek(1), 10);
+    }
+
+    #[test]
+    fn erew_read_conflict_detected() {
+        let mut m = Machine::new(Model::Erew, 4);
+        let err = m.step(2, |ctx| {
+            ctx.read(3);
+        });
+        assert!(matches!(err, Err(PramError::ReadConflict { addr: 3, .. })), "{err:?}");
+    }
+
+    #[test]
+    fn erew_same_proc_rereads_allowed() {
+        let mut m = Machine::new(Model::Erew, 4);
+        m.step(2, |ctx| {
+            let a = ctx.pid();
+            let _ = ctx.read(a);
+            let _ = ctx.read(a);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn crew_allows_concurrent_read_but_not_write() {
+        let mut m = Machine::new(Model::Crew, 4);
+        m.step(4, |ctx| {
+            let _ = ctx.read(0);
+        })
+        .unwrap();
+        let err = m.step(2, |ctx| ctx.write(1, ctx.pid() as Word));
+        assert!(matches!(err, Err(PramError::WriteConflict { addr: 1, .. })));
+    }
+
+    #[test]
+    fn crcw_common_agreement_and_mismatch() {
+        let mut m = Machine::new(Model::CrcwCommon, 4);
+        m.step(4, |ctx| ctx.write(2, 7)).unwrap();
+        assert_eq!(m.peek(2), 7);
+        let err = m.step(2, |ctx| ctx.write(2, ctx.pid() as Word));
+        assert!(matches!(err, Err(PramError::CommonValueMismatch { addr: 2, .. })));
+        // failed step must not have modified memory
+        assert_eq!(m.peek(2), 7);
+    }
+
+    #[test]
+    fn crcw_priority_lowest_pid_wins() {
+        for model in [Model::CrcwArbitrary, Model::CrcwPriority] {
+            let mut m = Machine::new(model, 1);
+            m.step(8, |ctx| ctx.write(0, 100 + ctx.pid() as Word)).unwrap();
+            assert_eq!(m.peek(0), 100, "{model}");
+        }
+    }
+
+    #[test]
+    fn last_write_within_processor_wins() {
+        let mut m = Machine::new(Model::Erew, 1);
+        m.step(1, |ctx| {
+            ctx.write(0, 1);
+            ctx.write(0, 2);
+            ctx.write(0, 3);
+        })
+        .unwrap();
+        assert_eq!(m.peek(0), 3);
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let mut m = Machine::new(Model::Erew, 2);
+        let err = m.step(1, |ctx| {
+            let _ = ctx.read(99);
+        });
+        assert!(matches!(err, Err(PramError::OutOfBounds { addr: 99, .. })));
+        let err = m.step(1, |ctx| ctx.write(5, 1));
+        assert!(matches!(err, Err(PramError::OutOfBounds { addr: 5, .. })));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut m = Machine::new(Model::Erew, 8);
+        m.step(8, |ctx| {
+            let v = ctx.read(ctx.pid());
+            ctx.write(ctx.pid(), v + 1);
+        })
+        .unwrap();
+        m.step(4, |ctx| {
+            let _ = ctx.read(ctx.pid());
+        })
+        .unwrap();
+        let s = m.stats();
+        assert_eq!(s.steps, 2);
+        assert_eq!(s.work, 12);
+        assert_eq!(s.reads, 12);
+        assert_eq!(s.writes, 8);
+    }
+
+    #[test]
+    fn failed_step_still_counts_but_leaves_memory() {
+        let mut m = Machine::new(Model::Erew, 2);
+        m.poke(0, 42);
+        let _ = m.step(2, |ctx| ctx.write(0, ctx.pid() as Word));
+        assert_eq!(m.stats().steps, 1);
+        assert_eq!(m.peek(0), 42);
+    }
+
+    #[test]
+    fn fast_mode_skips_checks_resolves_by_pid() {
+        let mut m = Machine::new_fast(Model::Erew, 1);
+        // Illegal on EREW, but fast mode doesn't look.
+        m.step(4, |ctx| ctx.write(0, ctx.pid() as Word + 50)).unwrap();
+        assert_eq!(m.peek(0), 50);
+        assert_eq!(m.stats().reads, 0, "fast mode does not count reads");
+    }
+
+    #[test]
+    fn determinism_across_pool_sizes() {
+        // Same program on 1-thread and default pools → same image.
+        let run = |threads: Option<usize>| -> Vec<Word> {
+            let body = || {
+                let mut m = Machine::new(Model::CrcwPriority, 64);
+                for r in 0..10 {
+                    m.step(64, move |ctx| {
+                        let v = ctx.read(ctx.pid());
+                        ctx.write((ctx.pid() * 7 + r) % 64, v + ctx.pid() as Word);
+                    })
+                    .unwrap();
+                }
+                m.memory().to_vec()
+            };
+            match threads {
+                Some(t) => rayon::ThreadPoolBuilder::new()
+                    .num_threads(t)
+                    .build()
+                    .unwrap()
+                    .install(body),
+                None => body(),
+            }
+        };
+        assert_eq!(run(Some(1)), run(None));
+    }
+
+    #[test]
+    fn alloc_and_regions() {
+        let mut m = Machine::new(Model::Erew, 0);
+        let a = m.alloc(4);
+        let b = m.alloc(2);
+        assert_eq!(m.size(), 6);
+        m.load_region(a, &[1, 2, 3, 4]);
+        m.load_region(b, &[9, 9]);
+        assert_eq!(m.region_slice(a), &[1, 2, 3, 4]);
+        assert_eq!(m.region_slice(b), &[9, 9]);
+        assert_eq!(m.peek(4), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "load size mismatch")]
+    fn load_region_size_mismatch() {
+        let mut m = Machine::new(Model::Erew, 0);
+        let a = m.alloc(3);
+        m.load_region(a, &[1]);
+    }
+
+    #[test]
+    fn trace_records_per_step() {
+        let mut m = Machine::new(Model::Erew, 8);
+        assert!(m.trace().is_none());
+        m.enable_trace();
+        m.step(8, |ctx| {
+            let v = ctx.read(ctx.pid());
+            ctx.write(ctx.pid(), v + 1);
+        })
+        .unwrap();
+        let _ = m.step(2, |ctx| {
+            let _ = ctx.read(7); // EREW read conflict
+        });
+        let tr = m.take_trace().unwrap();
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.steps()[0].procs, 8);
+        assert_eq!(tr.steps()[0].reads, 8);
+        assert_eq!(tr.steps()[0].writes, 8);
+        assert!(!tr.steps()[0].failed);
+        assert!(tr.steps()[1].failed);
+        assert_eq!(tr.max_procs(), 8);
+        assert!(m.trace().is_none(), "take_trace stops recording");
+    }
+
+    #[test]
+    fn steps_helper_runs_rounds() {
+        let mut m = Machine::new(Model::Erew, 1);
+        m.steps(5, 1, |ctx| {
+            let v = ctx.read(0);
+            ctx.write(0, v + 1);
+        })
+        .unwrap();
+        assert_eq!(m.peek(0), 5);
+        assert_eq!(m.stats().steps, 5);
+    }
+}

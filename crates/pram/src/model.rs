@@ -1,0 +1,89 @@
+//! PRAM submodels and their collision rules.
+
+/// The PRAM submodel: which same-cell collisions within one step are
+/// legal, and how write collisions resolve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// Exclusive read, exclusive write: no two processors may touch the
+    /// same cell in the same step, whether reading or writing. The model
+    /// of the paper's Lemma 4 / Match2 EREW results and its appendix.
+    Erew,
+    /// Concurrent read, exclusive write.
+    Crew,
+    /// Concurrent read, concurrent write; colliding writers must all
+    /// write the same value (checked), which is then stored.
+    CrcwCommon,
+    /// Concurrent read, concurrent write; one colliding writer wins.
+    /// For determinism this simulator always lets the *lowest* processor
+    /// id win — a legal refinement of "arbitrary".
+    CrcwArbitrary,
+    /// Concurrent read, concurrent write; the lowest-id processor wins by
+    /// definition. Identical resolution to [`Model::CrcwArbitrary`] here,
+    /// but a distinct model for legality accounting.
+    CrcwPriority,
+}
+
+impl Model {
+    /// May two processors read the same cell in one step?
+    #[inline]
+    pub fn allows_concurrent_read(self) -> bool {
+        !matches!(self, Model::Erew)
+    }
+
+    /// May two processors write the same cell in one step?
+    #[inline]
+    pub fn allows_concurrent_write(self) -> bool {
+        matches!(
+            self,
+            Model::CrcwCommon | Model::CrcwArbitrary | Model::CrcwPriority
+        )
+    }
+
+    /// Must colliding writers agree on the value (CRCW-common)?
+    #[inline]
+    pub fn requires_common_value(self) -> bool {
+        matches!(self, Model::CrcwCommon)
+    }
+
+    /// Short display name matching the literature.
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::Erew => "EREW",
+            Model::Crew => "CREW",
+            Model::CrcwCommon => "CRCW(common)",
+            Model::CrcwArbitrary => "CRCW(arbitrary)",
+            Model::CrcwPriority => "CRCW(priority)",
+        }
+    }
+}
+
+impl std::fmt::Display for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legality_matrix() {
+        assert!(!Model::Erew.allows_concurrent_read());
+        assert!(!Model::Erew.allows_concurrent_write());
+        assert!(Model::Crew.allows_concurrent_read());
+        assert!(!Model::Crew.allows_concurrent_write());
+        for m in [Model::CrcwCommon, Model::CrcwArbitrary, Model::CrcwPriority] {
+            assert!(m.allows_concurrent_read());
+            assert!(m.allows_concurrent_write());
+        }
+        assert!(Model::CrcwCommon.requires_common_value());
+        assert!(!Model::CrcwArbitrary.requires_common_value());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Model::Erew.to_string(), "EREW");
+        assert_eq!(Model::CrcwCommon.to_string(), "CRCW(common)");
+    }
+}

@@ -1,0 +1,102 @@
+//! Named windows into the shared memory.
+//!
+//! PRAM pseudo-code manipulates named arrays (`label[v]`, `NEXT[v]`,
+//! `DONE[i]`…) laid out in one flat shared memory. A [`Region`] is such
+//! an array: a `(base, len)` window with index arithmetic, so algorithm
+//! code reads as in the paper while all accesses stay bounds-checked
+//! against the region.
+
+use crate::machine::ProcCtx;
+use crate::Word;
+
+/// A fixed window `[base, base+len)` of machine memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    base: usize,
+    len: usize,
+}
+
+impl Region {
+    /// A region starting at `base` covering `len` words.
+    pub fn new(base: usize, len: usize) -> Self {
+        Self { base, len }
+    }
+
+    /// First machine address of the region.
+    #[inline]
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Region length in words.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the region is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Machine address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len` — region overruns are program bugs and are
+    /// caught at the callsite rather than surfacing as machine faults.
+    #[inline]
+    pub fn addr(&self, i: usize) -> usize {
+        assert!(i < self.len, "region index {i} out of bounds (len {})", self.len);
+        self.base + i
+    }
+
+    /// Read element `i` through a processor context.
+    #[inline]
+    pub fn get(&self, ctx: &mut ProcCtx<'_>, i: usize) -> Word {
+        ctx.read(self.addr(i))
+    }
+
+    /// Write element `i` through a processor context.
+    #[inline]
+    pub fn set(&self, ctx: &mut ProcCtx<'_>, i: usize, val: Word) {
+        ctx.write(self.addr(i), val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::model::Model;
+
+    #[test]
+    fn addressing() {
+        let r = Region::new(10, 5);
+        assert_eq!(r.addr(0), 10);
+        assert_eq!(r.addr(4), 14);
+        assert_eq!(r.len(), 5);
+        assert!(!r.is_empty());
+        assert!(Region::new(3, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn overrun_panics() {
+        Region::new(10, 5).addr(5);
+    }
+
+    #[test]
+    fn get_set_through_ctx() {
+        let mut m = Machine::new(Model::Erew, 0);
+        let r = m.alloc(8);
+        m.load_region(r, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        m.step(8, |ctx| {
+            let v = r.get(ctx, ctx.pid());
+            r.set(ctx, ctx.pid(), v * 2);
+        })
+        .unwrap();
+        assert_eq!(m.region_slice(r), &[0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Step/work accounting.
+//!
+//! Every bound in the paper is a statement about *simulated steps* as a
+//! function of `n` and the processor count `p`; the experiments measure
+//! exactly these counters. `work = Σ p` over steps is the quantity in the
+//! optimality criterion `p·T_p = O(T_1)`.
+
+/// Counters accumulated by a [`Machine`](crate::machine::Machine).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Synchronous steps executed (including failed ones — the machine
+    /// attempted them).
+    pub steps: u64,
+    /// Processor-steps: the sum over steps of the processor count
+    /// scheduled for that step.
+    pub work: u64,
+    /// Shared-memory reads (counted in checked mode only).
+    pub reads: u64,
+    /// Shared-memory writes issued (after per-processor coalescing).
+    pub writes: u64,
+}
+
+impl Stats {
+    /// Difference of two snapshots: `self - earlier`, counter-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` has any counter larger than `self` (snapshots
+    /// taken out of order).
+    pub fn since(&self, earlier: &Stats) -> Stats {
+        Stats {
+            steps: self.steps.checked_sub(earlier.steps).expect("steps went backwards"),
+            work: self.work.checked_sub(earlier.work).expect("work went backwards"),
+            reads: self.reads.checked_sub(earlier.reads).expect("reads went backwards"),
+            writes: self.writes.checked_sub(earlier.writes).expect("writes went backwards"),
+        }
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "steps={} work={} reads={} writes={}",
+            self.steps, self.work, self.reads, self.writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts() {
+        let a = Stats { steps: 10, work: 100, reads: 50, writes: 40 };
+        let b = Stats { steps: 4, work: 30, reads: 20, writes: 10 };
+        assert_eq!(
+            a.since(&b),
+            Stats { steps: 6, work: 70, reads: 30, writes: 30 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn since_out_of_order_panics() {
+        let a = Stats { steps: 1, ..Stats::default() };
+        let b = Stats { steps: 2, ..Stats::default() };
+        let _ = a.since(&b);
+    }
+
+    #[test]
+    fn display_lists_counters() {
+        let s = Stats { steps: 1, work: 2, reads: 3, writes: 4 }.to_string();
+        assert!(s.contains("steps=1") && s.contains("writes=4"));
+    }
+}

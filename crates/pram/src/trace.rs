@@ -1,0 +1,78 @@
+//! Per-step execution traces.
+//!
+//! When enabled, the machine records one [`StepTrace`] per simulated
+//! step — the processor count scheduled, the memory traffic, and
+//! whether the step was rejected. Experiments use this to attribute
+//! step budgets to algorithm phases (e.g. "how many of Match2's steps
+//! are the sort").
+
+/// Record of one simulated step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepTrace {
+    /// Virtual processors scheduled for the step.
+    pub procs: usize,
+    /// Shared-memory reads (checked mode only; 0 in fast mode).
+    pub reads: u64,
+    /// Shared-memory writes applied (after per-processor coalescing).
+    pub writes: u64,
+    /// True iff the step was rejected (conflict / fault) and its writes
+    /// discarded.
+    pub failed: bool,
+}
+
+/// A sequence of step traces with simple aggregation helpers.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    steps: Vec<StepTrace>,
+}
+
+impl Trace {
+    /// Append one record.
+    pub fn push(&mut self, t: StepTrace) {
+        self.steps.push(t);
+    }
+
+    /// All records, in execution order.
+    pub fn steps(&self) -> &[StepTrace] {
+        &self.steps
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True iff nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Sum of `procs` over a step range — the work of a phase.
+    pub fn work_in(&self, range: std::ops::Range<usize>) -> u64 {
+        self.steps[range].iter().map(|t| t.procs as u64).sum()
+    }
+
+    /// Largest processor count any step scheduled.
+    pub fn max_procs(&self) -> usize {
+        self.steps.iter().map(|t| t.procs).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation() {
+        let mut t = Trace::default();
+        assert!(t.is_empty());
+        for p in [4usize, 8, 2] {
+            t.push(StepTrace { procs: p, reads: 1, writes: 1, failed: false });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.work_in(0..2), 12);
+        assert_eq!(t.work_in(0..3), 14);
+        assert_eq!(t.max_procs(), 8);
+        assert!(!t.steps()[0].failed);
+    }
+}

@@ -1,0 +1,204 @@
+//! Integration and property tests for the PRAM engine: whole programs,
+//! legality detection, and scheduling independence.
+
+use parmatch_pram::{ExecMode, Machine, Model, PramError, Word};
+use proptest::prelude::*;
+
+/// Wyllie pointer jumping over an arbitrary permutation list, run as a
+/// complete CREW program: ranks must match the sequential walk.
+fn wyllie_on_machine(order: &[usize]) -> Vec<Word> {
+    let n = order.len();
+    let mut m = Machine::new(Model::Crew, 2 * n);
+    // next in cells 0..n (tail self-loop), dist in cells n..2n
+    for w in order.windows(2) {
+        m.poke(w[0], w[1] as Word);
+    }
+    let tail = *order.last().unwrap();
+    m.poke(tail, tail as Word);
+    for v in 0..n {
+        m.poke(n + v, Word::from(v != tail));
+    }
+    let rounds = (usize::BITS - (n - 1).leading_zeros()) as usize;
+    for _ in 0..rounds.max(1) {
+        m.step(n, |ctx| {
+            let v = ctx.pid();
+            let nxt = ctx.read(v) as usize;
+            let d = ctx.read(n + v);
+            let dn = ctx.read(n + nxt);
+            let nn = ctx.read(nxt);
+            ctx.write(n + v, d + dn);
+            ctx.write(v, nn);
+        })
+        .unwrap();
+    }
+    (0..n).map(|v| m.peek(n + v)).collect()
+}
+
+#[test]
+fn wyllie_ranks_chain() {
+    let order: Vec<usize> = vec![3, 1, 4, 0, 2, 5];
+    let ranks = wyllie_on_machine(&order);
+    for (pos, &v) in order.iter().enumerate() {
+        assert_eq!(ranks[v] as usize, order.len() - 1 - pos, "node {v}");
+    }
+}
+
+#[test]
+fn failed_step_is_atomic() {
+    let mut m = Machine::new(Model::Erew, 4);
+    m.poke(0, 1);
+    m.poke(1, 2);
+    // pid 0 writes legally to cell 2; pids 1,2 collide on cell 3.
+    let err = m.step(3, |ctx| match ctx.pid() {
+        0 => ctx.write(2, 99),
+        _ => ctx.write(3, ctx.pid() as Word),
+    });
+    assert!(matches!(err, Err(PramError::WriteConflict { addr: 3, .. })));
+    // even the legal write must not have landed: steps are atomic
+    assert_eq!(m.peek(2), 0);
+}
+
+#[test]
+fn erew_detects_read_write_collision_as_conflict() {
+    // One proc reads cell 0 while another writes it: on a strict EREW
+    // machine the *write* set and *read* set are separately exclusive,
+    // and a read+write collision is legal in the standard formulation
+    // (reads happen before writes). Verify we allow it.
+    let mut m = Machine::new(Model::Erew, 2);
+    m.poke(0, 5);
+    m.step(2, |ctx| {
+        if ctx.pid() == 0 {
+            let v = ctx.read(0);
+            ctx.write(1, v);
+        } else {
+            ctx.write(0, 7);
+        }
+    })
+    .unwrap();
+    assert_eq!(m.peek(1), 5, "read saw pre-step value");
+    assert_eq!(m.peek(0), 7);
+}
+
+#[test]
+fn zero_processors_is_a_legal_noop_step() {
+    let mut m = Machine::new(Model::Erew, 1);
+    m.step(0, |_ctx| unreachable!()).unwrap();
+    assert_eq!(m.stats().steps, 1);
+    assert_eq!(m.stats().work, 0);
+}
+
+#[test]
+fn trace_attributes_phases() {
+    // A two-phase program: a fat sweep then a thin reduction; the trace
+    // must let us attribute work to each phase exactly.
+    let mut m = Machine::new(Model::Erew, 64);
+    m.enable_trace();
+    for _ in 0..4 {
+        m.step(64, |ctx| {
+            let v = ctx.read(ctx.pid());
+            ctx.write(ctx.pid(), v + 1);
+        })
+        .unwrap();
+    }
+    let phase1_end = m.trace().unwrap().len();
+    for _ in 0..6 {
+        m.step(8, |ctx| {
+            let v = ctx.read(ctx.pid());
+            ctx.write(ctx.pid(), v * 2);
+        })
+        .unwrap();
+    }
+    let tr = m.take_trace().unwrap();
+    assert_eq!(tr.len(), 10);
+    assert_eq!(tr.work_in(0..phase1_end), 4 * 64);
+    assert_eq!(tr.work_in(phase1_end..tr.len()), 6 * 8);
+    assert_eq!(
+        tr.work_in(0..tr.len()),
+        m.stats().work,
+        "trace work must reconcile with the global counter"
+    );
+}
+
+#[test]
+fn mode_accessors() {
+    assert_eq!(Machine::new(Model::Erew, 1).mode(), ExecMode::Checked);
+    assert_eq!(Machine::new_fast(Model::Erew, 1).mode(), ExecMode::Fast);
+    assert_eq!(Machine::new(Model::Crew, 1).model(), Model::Crew);
+}
+
+proptest! {
+    /// The engine is deterministic: identical programs yield identical
+    /// memory images on every model, run twice.
+    #[test]
+    fn engine_deterministic(seed in any::<u64>(), n in 4usize..128) {
+        let run = || {
+            let mut m = Machine::new_fast(Model::CrcwPriority, n);
+            for r in 0u64..8 {
+                let s = seed.wrapping_add(r);
+                m.step(n, move |ctx| {
+                    let tgt = ((ctx.pid() as u64).wrapping_mul(s) % n as u64) as usize;
+                    let v = ctx.read(tgt);
+                    ctx.write(tgt, v ^ s.rotate_left(ctx.pid() as u32));
+                }).unwrap();
+            }
+            m.memory().to_vec()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Per-pid disjoint writes are legal on every model.
+    #[test]
+    fn disjoint_writes_always_legal(n in 1usize..256) {
+        for model in [Model::Erew, Model::Crew, Model::CrcwCommon] {
+            let mut m = Machine::new(model, n);
+            m.step(n, |ctx| ctx.write(ctx.pid(), ctx.pid() as Word)).unwrap();
+            for i in 0..n {
+                prop_assert_eq!(m.peek(i), i as Word);
+            }
+        }
+    }
+
+    /// Any two distinct processors touching one cell trip the EREW
+    /// detector, whichever pair it is.
+    #[test]
+    fn erew_collision_always_detected(n in 2usize..64, a in 0usize..64, b in 0usize..64) {
+        let (a, b) = (a % n, b % n);
+        prop_assume!(a != b);
+        let mut m = Machine::new(Model::Erew, n + 1);
+        let res = m.step(n, move |ctx| {
+            if ctx.pid() == a || ctx.pid() == b {
+                let _ = ctx.read(n); // shared cell
+            }
+        });
+        let detected = matches!(res, Err(PramError::ReadConflict { .. }));
+        prop_assert!(detected);
+    }
+
+    /// Checked and fast mode agree on legal programs.
+    #[test]
+    fn checked_fast_agree(n in 2usize..128, seed in any::<u64>()) {
+        let prog = move |m: &mut Machine| {
+            for r in 0u64..4 {
+                m.step(n, move |ctx| {
+                    let v = ctx.read(ctx.pid());
+                    ctx.write(ctx.pid(), v.wrapping_add(seed ^ r));
+                }).unwrap();
+            }
+        };
+        let mut a = Machine::new(Model::Erew, n);
+        let mut b = Machine::new_fast(Model::Erew, n);
+        prog(&mut a);
+        prog(&mut b);
+        prop_assert_eq!(a.memory(), b.memory());
+        prop_assert_eq!(a.stats().steps, b.stats().steps);
+        prop_assert_eq!(a.stats().writes, b.stats().writes);
+    }
+
+    /// CRCW-common accepts agreeing broadcasts of any value.
+    #[test]
+    fn crcw_common_broadcast(val in any::<u64>(), n in 2usize..64) {
+        let mut m = Machine::new(Model::CrcwCommon, 1);
+        m.step(n, move |ctx| ctx.write(0, val)).unwrap();
+        prop_assert_eq!(m.peek(0), val);
+    }
+}

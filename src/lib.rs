@@ -1,0 +1,48 @@
+//! # parmatch — Matching Partition a Linked List and Its Optimization
+//!
+//! A full reproduction of Yijie Han's SPAA 1989 paper: parallel
+//! **maximal matching** of the pointers of an array-stored linked list
+//! by deterministic coin tossing, culminating in the optimal
+//! processor-scheduling algorithm **Match4**
+//! (`O(n·log i/p + log^(i) n + log i)` time, optimal with up to
+//! `n/log^(i) n` processors), plus every substrate it runs on and every
+//! application the paper motivates.
+//!
+//! This crate is a facade: it re-exports the workspace's crates under
+//! one roof and hosts the runnable examples and cross-crate tests.
+//!
+//! ## Map
+//!
+//! | need | go to |
+//! |---|---|
+//! | build / generate linked lists | [`list`] |
+//! | compute a maximal matching | [`core::match4`], [`core::match1`]… |
+//! | exact PRAM step counts | [`core::pram_impl`], [`pram`] |
+//! | 3-coloring, MIS, list ranking, prefix | [`apps`] |
+//! | sequential / randomized / Wyllie baselines | [`baselines`] |
+//! | the appendix's bit machinery | [`bits`] |
+//!
+//! ## Sixty seconds
+//!
+//! ```
+//! use parmatch::core::{match4, verify};
+//! use parmatch::list::random_list;
+//!
+//! let list = random_list(100_000, 42);
+//! let out = match4(&list, 2); // i = 2: log^(2) n matching sets
+//! verify::assert_maximal_matching(&list, &out.matching);
+//! println!(
+//!     "matched {} of {} pointers on a {}×{} grid",
+//!     out.matching.len(), list.pointer_count(), out.rows, out.cols,
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use parmatch_apps as apps;
+pub use parmatch_baselines as baselines;
+pub use parmatch_bits as bits;
+pub use parmatch_core as core;
+pub use parmatch_list as list;
+pub use parmatch_pram as pram;

@@ -31,7 +31,12 @@ pub struct CascadeOutput {
 pub fn rank_accelerated(list: &LinkedList, i: u32, variant: CoinVariant) -> CascadeOutput {
     let n = list.len();
     if n == 0 {
-        return CascadeOutput { ranks: Vec::new(), contract_levels: 0, switch_size: 0, work: 0 };
+        return CascadeOutput {
+            ranks: Vec::new(),
+            contract_levels: 0,
+            switch_size: 0,
+            work: 0,
+        };
     }
     let log_n = usize::BITS - n.leading_zeros();
     let target = (n / log_n.max(1) as usize).max(8);
@@ -59,7 +64,12 @@ pub fn rank_accelerated(list: &LinkedList, i: u32, variant: CoinVariant) -> Casc
     while let Some((lvl_list, lvl_weights, frame)) = frames.pop() {
         ranks = frame.expand(&lvl_list, &lvl_weights, &ranks);
     }
-    CascadeOutput { ranks, contract_levels: levels, switch_size: cur_list.len(), work }
+    CascadeOutput {
+        ranks,
+        contract_levels: levels,
+        switch_size: cur_list.len(),
+        work,
+    }
 }
 
 #[cfg(test)]
@@ -102,12 +112,18 @@ mod tests {
         let n = 1 << 14;
         let list = random_list(n, 9);
         let out = rank_accelerated(&list, 2, CoinVariant::Msb);
-        assert!(out.switch_size <= n / 14 + 8, "switch at {}", out.switch_size);
+        assert!(
+            out.switch_size <= n / 14 + 8,
+            "switch at {}",
+            out.switch_size
+        );
     }
 
     #[test]
     fn tiny() {
-        assert!(rank_accelerated(&sequential_list(0), 2, CoinVariant::Msb).ranks.is_empty());
+        assert!(rank_accelerated(&sequential_list(0), 2, CoinVariant::Msb)
+            .ranks
+            .is_empty());
         for n in 1..=20 {
             let list = random_list(n, n as u64);
             let out = rank_accelerated(&list, 1, CoinVariant::Msb);

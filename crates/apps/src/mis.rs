@@ -102,17 +102,29 @@ mod tests {
     fn verifier_rejects_bad_sets() {
         let list = sequential_list(4);
         // adjacent pair selected
-        assert!(!is_maximal_independent_set(&list, &[true, true, false, false]));
+        assert!(!is_maximal_independent_set(
+            &list,
+            &[true, true, false, false]
+        ));
         // not maximal: node 3 has no selected neighbor
-        assert!(!is_maximal_independent_set(&list, &[true, false, false, false]));
+        assert!(!is_maximal_independent_set(
+            &list,
+            &[true, false, false, false]
+        ));
         // good: 0, 2 selected covers 1, 3
-        assert!(is_maximal_independent_set(&list, &[true, false, true, false]));
+        assert!(is_maximal_independent_set(
+            &list,
+            &[true, false, true, false]
+        ));
     }
 
     #[test]
     fn tiny() {
         assert!(mis_via_match4(&sequential_list(0), 2, CoinVariant::Msb).is_empty());
-        assert_eq!(mis_via_match4(&sequential_list(1), 2, CoinVariant::Msb), vec![true]);
+        assert_eq!(
+            mis_via_match4(&sequential_list(1), 2, CoinVariant::Msb),
+            vec![true]
+        );
         let sel = mis_via_match4(&sequential_list(2), 2, CoinVariant::Msb);
         assert!(is_maximal_independent_set(&sequential_list(2), &sel));
     }

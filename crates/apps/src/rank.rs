@@ -52,7 +52,11 @@ pub fn rank_by_contraction(list: &LinkedList, i: u32, variant: CoinVariant) -> R
     let mut levels = 0u32;
     let weights = vec![1u64; n];
     let ranks = go(list, &weights, i, variant, &mut levels, &mut work);
-    RankOutput { ranks, levels, work }
+    RankOutput {
+        ranks,
+        levels,
+        work,
+    }
 }
 
 /// One contraction level's bookkeeping, sufficient to expand ranks of
@@ -180,7 +184,11 @@ fn go(
         let order = list.order();
         let mut succ_rank = 0u64;
         for (idx, &v) in order.iter().rev().enumerate() {
-            let rv = if idx == 0 { 0 } else { weights[v as usize] + succ_rank };
+            let rv = if idx == 0 {
+                0
+            } else {
+                weights[v as usize] + succ_rank
+            };
             ranks[v as usize] = rv;
             succ_rank = rv;
         }
@@ -209,12 +217,12 @@ pub fn weighted_ranks(
 /// the rank by its weight (1 for plain ranking).
 pub fn ranks_are_consistent(list: &LinkedList, ranks: &[u64]) -> bool {
     assert_eq!(ranks.len(), list.len(), "rank array length mismatch");
-    (0..list.len() as NodeId).into_par_iter().all(|v| {
-        match list.next_raw(v) {
+    (0..list.len() as NodeId)
+        .into_par_iter()
+        .all(|v| match list.next_raw(v) {
             NIL => ranks[v as usize] == 0,
             w => ranks[v as usize] == ranks[w as usize] + 1,
-        }
-    })
+        })
 }
 
 #[cfg(test)]
@@ -271,7 +279,11 @@ mod tests {
 
     #[test]
     fn tiny() {
-        assert!(rank_by_contraction(&sequential_list(0), 2, CoinVariant::Msb).ranks.is_empty());
+        assert!(
+            rank_by_contraction(&sequential_list(0), 2, CoinVariant::Msb)
+                .ranks
+                .is_empty()
+        );
         assert_eq!(
             rank_by_contraction(&sequential_list(1), 2, CoinVariant::Msb).ranks,
             vec![0]

@@ -29,10 +29,18 @@ pub struct CvOutput {
 pub fn cv_color3(list: &LinkedList, variant: CoinVariant) -> CvOutput {
     let n = list.len();
     if n == 0 {
-        return CvOutput { colors: Vec::new(), coin_rounds: 0, reduce_sweeps: 0 };
+        return CvOutput {
+            colors: Vec::new(),
+            coin_rounds: 0,
+            reduce_sweeps: 0,
+        };
     }
     if n == 1 {
-        return CvOutput { colors: vec![0], coin_rounds: 0, reduce_sweeps: 0 };
+        return CvOutput {
+            colors: vec![0],
+            coin_rounds: 0,
+            reduce_sweeps: 0,
+        };
     }
     let seq = LabelSeq::initial(list, variant).relabel_to_convergence(list);
     let mut colors: Vec<Word> = seq.labels().to_vec();
@@ -112,8 +120,13 @@ mod tests {
 
     #[test]
     fn tiny() {
-        assert!(cv_color3(&sequential_list(0), CoinVariant::Msb).colors.is_empty());
-        assert_eq!(cv_color3(&sequential_list(1), CoinVariant::Msb).colors, vec![0]);
+        assert!(cv_color3(&sequential_list(0), CoinVariant::Msb)
+            .colors
+            .is_empty());
+        assert_eq!(
+            cv_color3(&sequential_list(1), CoinVariant::Msb).colors,
+            vec![0]
+        );
         let out = cv_color3(&sequential_list(2), CoinVariant::Msb);
         assert!(node_coloring_is_proper(&sequential_list(2), &out.colors, 3));
     }

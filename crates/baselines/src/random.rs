@@ -40,7 +40,10 @@ pub struct RandomizedOutput {
 pub fn randomized_matching(list: &LinkedList, seed: u64) -> RandomizedOutput {
     let n = list.len();
     if n < 2 {
-        return RandomizedOutput { matching: Matching::empty(n), rounds: 0 };
+        return RandomizedOutput {
+            matching: Matching::empty(n),
+            rounds: 0,
+        };
     }
     let pred = list.pred_array();
     let mut mask = vec![false; n];
@@ -65,9 +68,7 @@ pub fn randomized_matching(list: &LinkedList, seed: u64) -> RandomizedOutput {
         // one word of randomness per pointer tail, drawn up front so the
         // parallel phase is pure
         let coins: Vec<bool> = (0..n).map(|_| rng.gen::<bool>()).collect();
-        let heads = |v: NodeId| -> bool {
-            live(v, &covered, list) && coins[v as usize]
-        };
+        let heads = |v: NodeId| -> bool { live(v, &covered, list) && coins[v as usize] };
         let selected: Vec<NodeId> = (0..n as NodeId)
             .into_par_iter()
             .filter(|&v| {
@@ -88,9 +89,15 @@ pub fn randomized_matching(list: &LinkedList, seed: u64) -> RandomizedOutput {
             covered[v as usize] = true;
             covered[list.next_raw(v) as usize] = true;
         }
-        assert!(rounds <= 64 + 4 * (usize::BITS - n.leading_zeros()), "randomized matching failed to converge");
+        assert!(
+            rounds <= 64 + 4 * (usize::BITS - n.leading_zeros()),
+            "randomized matching failed to converge"
+        );
     }
-    RandomizedOutput { matching: Matching::from_mask(list, mask), rounds }
+    RandomizedOutput {
+        matching: Matching::from_mask(list, mask),
+        rounds,
+    }
 }
 
 #[cfg(test)]

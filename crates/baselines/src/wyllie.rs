@@ -40,9 +40,19 @@ pub fn wyllie_weighted(list: &LinkedList, weights: &[u64]) -> (Vec<u64>, u64) {
         })
         .collect();
     let mut dist: Vec<u64> = (0..n as NodeId)
-        .map(|v| if list.next_raw(v) == NIL { 0 } else { weights[v as usize] })
+        .map(|v| {
+            if list.next_raw(v) == NIL {
+                0
+            } else {
+                weights[v as usize]
+            }
+        })
         .collect();
-    let rounds = if n <= 1 { 0 } else { usize::BITS - (n - 1).leading_zeros() };
+    let rounds = if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    };
     let mut work = 0u64;
     for _ in 0..rounds {
         work += n as u64;
@@ -64,7 +74,11 @@ pub fn wyllie_weighted(list: &LinkedList, weights: &[u64]) -> (Vec<u64>, u64) {
 pub fn wyllie_ranks(list: &LinkedList) -> WyllieOutput {
     let n = list.len();
     if n == 0 {
-        return WyllieOutput { ranks: Vec::new(), rounds: 0, work: 0 };
+        return WyllieOutput {
+            ranks: Vec::new(),
+            rounds: 0,
+            work: 0,
+        };
     }
     let mut next: Vec<NodeId> = (0..n as NodeId)
         .map(|v| match list.next_raw(v) {
@@ -78,7 +92,11 @@ pub fn wyllie_ranks(list: &LinkedList) -> WyllieOutput {
     // After r rounds every node has jumped 2^r hops (or hit the tail,
     // whose self-loop contributes distance 0): ⌈log₂ n⌉ rounds suffice
     // and further rounds are no-ops — the textbook fixed count.
-    let rounds = if n <= 1 { 0 } else { usize::BITS - (n - 1).leading_zeros() };
+    let rounds = if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    };
     let mut work = 0u64;
     for _ in 0..rounds {
         work += n as u64;
@@ -93,7 +111,11 @@ pub fn wyllie_ranks(list: &LinkedList) -> WyllieOutput {
         dist = new_dist;
         next = new_next;
     }
-    WyllieOutput { ranks: dist, rounds, work }
+    WyllieOutput {
+        ranks: dist,
+        rounds,
+        work,
+    }
 }
 
 #[cfg(test)]

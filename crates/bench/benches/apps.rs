@@ -1,8 +1,8 @@
 //! E9 wall-clock: the applications against their baselines.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use parmatch_apps::{mis_via_match4, prefix_sums, rank_accelerated, rank_by_contraction};
 use parmatch_apps::color3::color3_via_match4;
+use parmatch_apps::{mis_via_match4, prefix_sums, rank_accelerated, rank_by_contraction};
 use parmatch_baselines::{cv::cv_color3, wyllie_ranks};
 use parmatch_bench::SEED;
 use parmatch_core::CoinVariant;

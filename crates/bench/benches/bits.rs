@@ -13,7 +13,12 @@ use std::hint::black_box;
 fn bench_coin_primitives(c: &mut Criterion) {
     let mut g = c.benchmark_group("coin_primitives");
     let pairs: Vec<(u64, u64)> = (0..4096u64)
-        .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15), i.wrapping_mul(0xBF58476D1CE4E5B9) | 1))
+        .map(|i| {
+            (
+                i.wrapping_mul(0x9E3779B97F4A7C15),
+                i.wrapping_mul(0xBF58476D1CE4E5B9) | 1,
+            )
+        })
         .collect();
     g.bench_function("msb_diff_hw", |b| {
         b.iter(|| {
@@ -80,5 +85,10 @@ fn bench_table_build(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_coin_primitives, bench_log_evaluation, bench_table_build);
+criterion_group!(
+    benches,
+    bench_coin_primitives,
+    bench_log_evaluation,
+    bench_table_build
+);
 criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Engine micro-benchmark: the epoch-stamped engine (and its dense
+//! fast path) against the original log-and-sort engine, on the
+//! workload the acceptance criterion is stated for — one Checked-mode
+//! step of `p = 2^20` processors — plus smaller sizes and Fast mode
+//! for the shape of the curve.
+//!
+//! The step body is the double-buffered sweep that dominates the
+//! paper's algorithms: read one source cell, write one disjoint output
+//! cell. All engines do identical simulated work, so wall-clock is a
+//! pure engine comparison. `experiments --json` records the same
+//! comparison machine-readably in `BENCH_engine.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parmatch_pram::{LegacyMachine, Machine, Model, Region};
+
+fn bench_engine_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_step");
+    g.sample_size(10);
+    for shift in [14usize, 17, 20] {
+        let p = 1usize << shift;
+        g.throughput(Throughput::Elements(p as u64));
+        let src = Region::new(0, p);
+        let dst = Region::new(p, p);
+
+        g.bench_with_input(BenchmarkId::new("legacy_checked", p), &p, |b, &p| {
+            let mut m = LegacyMachine::new(Model::Erew, 2 * p);
+            b.iter(|| {
+                m.step(p, |ctx| {
+                    let v = ctx.read(ctx.pid());
+                    ctx.write(p + ctx.pid(), v + 1);
+                })
+                .unwrap()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("new_checked", p), &p, |b, &p| {
+            let mut m = Machine::new(Model::Erew, 2 * p);
+            b.iter(|| {
+                m.step(p, |ctx| {
+                    let v = ctx.read(ctx.pid());
+                    ctx.write(p + ctx.pid(), v + 1);
+                })
+                .unwrap()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("dense_checked", p), &p, |b, &p| {
+            let mut m = Machine::new(Model::Erew, 2 * p);
+            b.iter(|| {
+                m.dense_step(p, &[dst], |ctx| {
+                    let v = ctx.get(src, ctx.pid());
+                    ctx.put(0, v + 1);
+                })
+                .unwrap()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("legacy_fast", p), &p, |b, &p| {
+            let mut m = LegacyMachine::new_fast(Model::Erew, 2 * p);
+            b.iter(|| {
+                m.step(p, |ctx| {
+                    let v = ctx.read(ctx.pid());
+                    ctx.write(p + ctx.pid(), v + 1);
+                })
+                .unwrap()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("new_fast", p), &p, |b, &p| {
+            let mut m = Machine::new_fast(Model::Erew, 2 * p);
+            b.iter(|| {
+                m.step(p, |ctx| {
+                    let v = ctx.read(ctx.pid());
+                    ctx.write(p + ctx.pid(), v + 1);
+                })
+                .unwrap()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("dense_fast", p), &p, |b, &p| {
+            let mut m = Machine::new_fast(Model::Erew, 2 * p);
+            b.iter(|| {
+                m.dense_step(p, &[dst], |ctx| {
+                    let v = ctx.get(src, ctx.pid());
+                    ctx.put(0, v + 1);
+                })
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_step);
+criterion_main!(benches);

@@ -31,13 +31,17 @@ fn bench_rounds_to_convergence(c: &mut Criterion) {
     for e in [14u32, 18] {
         let n = 1usize << e;
         let list = random_list(n, SEED);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("2^{e}")), &list, |b, list| {
-            b.iter(|| {
-                black_box(
-                    LabelSeq::initial(list, CoinVariant::Msb).relabel_to_convergence(list),
-                )
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{e}")),
+            &list,
+            |b, list| {
+                b.iter(|| {
+                    black_box(
+                        LabelSeq::initial(list, CoinVariant::Msb).relabel_to_convergence(list),
+                    )
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -46,9 +50,13 @@ fn bench_pointer_sets(c: &mut Criterion) {
     let mut g = c.benchmark_group("pointer_sets");
     let list = random_list(1 << 18, SEED);
     for rounds in [1u32, 2, 3] {
-        g.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &rounds| {
-            b.iter(|| black_box(pointer_sets(&list, rounds, CoinVariant::Msb)));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(rounds),
+            &rounds,
+            |b, &rounds| {
+                b.iter(|| black_box(pointer_sets(&list, rounds, CoinVariant::Msb)));
+            },
+        );
     }
     g.finish();
 }

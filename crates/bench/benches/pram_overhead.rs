@@ -7,7 +7,7 @@ use parmatch_bench::SEED;
 use parmatch_core::pram_impl::match1_pram;
 use parmatch_core::{match1, CoinVariant};
 use parmatch_list::random_list;
-use parmatch_pram::{ExecMode, Machine, Model};
+use parmatch_pram::{ExecMode, LegacyMachine, Machine, Model, Region};
 use std::hint::black_box;
 
 fn bench_engine_modes(c: &mut Criterion) {
@@ -44,6 +44,32 @@ fn bench_raw_step_throughput(c: &mut Criterion) {
                 m.step(p, |ctx| {
                     let v = ctx.read(ctx.pid());
                     ctx.write(ctx.pid(), v + 1);
+                })
+                .unwrap()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("legacy_checked", p), &p, |b, &p| {
+            let mut m = LegacyMachine::new(Model::Erew, p);
+            b.iter(|| {
+                m.step(p, |ctx| {
+                    let v = ctx.read(ctx.pid());
+                    ctx.write(ctx.pid(), v + 1);
+                })
+                .unwrap()
+            });
+        });
+        // The dense twin reads a source region and writes an output
+        // region (in-place `v+1` would read its own write window, which
+        // the dense contract forbids — the shape dense_step serves is
+        // the double-buffered sweep).
+        g.bench_with_input(BenchmarkId::new("dense_checked", p), &p, |b, &p| {
+            let mut m = Machine::new(Model::Erew, 2 * p);
+            let src = Region::new(0, p);
+            let dst = Region::new(p, p);
+            b.iter(|| {
+                m.dense_step(p, &[dst], |ctx| {
+                    let v = ctx.get(src, ctx.pid());
+                    ctx.put(0, v + 1);
                 })
                 .unwrap()
             });

@@ -17,9 +17,13 @@ fn bench_grid_build(c: &mut Criterion) {
         let list = random_list(n, SEED);
         let ps = pointer_sets(&list, 2, CoinVariant::Msb);
         let x = ps.bound() as usize;
-        g.bench_with_input(BenchmarkId::from_parameter(format!("2^{e}")), &(), |b, _| {
-            b.iter(|| black_box(Grid::new(&list, &ps, x)));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{e}")),
+            &(),
+            |b, _| {
+                b.iter(|| black_box(Grid::new(&list, &ps, x)));
+            },
+        );
     }
     g.finish();
 }
@@ -32,9 +36,13 @@ fn bench_walkdowns(c: &mut Criterion) {
         let list = random_list(n, SEED);
         let ps = pointer_sets(&list, 2, CoinVariant::Msb);
         let grid = Grid::new(&list, &ps, ps.bound() as usize);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("2^{e}")), &(), |b, _| {
-            b.iter(|| black_box(color_pointers(&list, &grid)));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{e}")),
+            &(),
+            |b, _| {
+                b.iter(|| black_box(color_pointers(&list, &grid)));
+            },
+        );
     }
     g.finish();
 }
@@ -61,5 +69,10 @@ fn bench_finish_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_grid_build, bench_walkdowns, bench_finish_ablation);
+criterion_group!(
+    benches,
+    bench_grid_build,
+    bench_walkdowns,
+    bench_finish_ablation
+);
 criterion_main!(benches);

@@ -14,14 +14,22 @@ use parmatch_core::pram_impl::{match1_pram, match2_pram, match4_pram};
 use parmatch_core::table::{fold_value, TupleTable};
 use parmatch_core::walkdown::walkdown2_schedule;
 use parmatch_core::{
-    cost, match1, match2, match3, match4, pointer_sets, verify, CoinVariant, LabelSeq,
-    Match3Config,
+    cost, match1, match2, match3, match4, pointer_sets, verify, CoinVariant, LabelSeq, Match3Config,
 };
 use parmatch_list::random_list;
 use parmatch_pram::ExecMode;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    if json {
+        JSON_OUT.with(|j| *j.borrow_mut() = Some(Vec::new()));
+    }
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
     let all = which == "all";
     let mut ran = false;
     for (id, f) in EXPERIMENTS {
@@ -38,6 +46,26 @@ fn main() {
         }
         std::process::exit(1);
     }
+    if json {
+        let body = JSON_OUT.with(|j| j.borrow_mut().take()).unwrap_or_default();
+        let out = format!("{{\n{}\n}}\n", body.join(",\n"));
+        std::fs::write("BENCH_engine.json", &out).expect("write BENCH_engine.json");
+        println!("wrote BENCH_engine.json");
+    }
+}
+
+thread_local! {
+    /// Top-level JSON fields accumulated by experiments when `--json`
+    /// is set (only the `engine` experiment emits any today).
+    static JSON_OUT: std::cell::RefCell<Option<Vec<String>>> = const { std::cell::RefCell::new(None) };
+}
+
+fn json_field(key: &str, value: String) {
+    JSON_OUT.with(|j| {
+        if let Some(fields) = j.borrow_mut().as_mut() {
+            fields.push(format!("  \"{key}\": {value}"));
+        }
+    });
 }
 
 const EXPERIMENTS: &[(&str, fn())] = &[
@@ -55,7 +83,173 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("e12", e12_shift_graph),
     ("e13", e13_erew_machinery),
     ("e14", e14_optimal_ranking),
+    ("engine", engine_bench),
 ];
+
+/// Engine benchmark: the epoch-stamped step engine (and the dense fast
+/// path) against the preserved legacy engine, plus the new engine's
+/// simulated-steps-per-second on the E4/E7 sweeps. With `--json`,
+/// writes the numbers to `BENCH_engine.json`.
+fn engine_bench() {
+    use parmatch_pram::{LegacyMachine, Machine, Model, Region};
+    use std::time::Instant;
+
+    println!("## ENGINE — step engines head to head (one sweep step, EREW)");
+
+    // Median seconds per call over `reps` calls after one warmup.
+    fn med<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+        f();
+        let mut times: Vec<f64> = (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    }
+
+    let mut rows = Vec::new();
+    let mut json_steps = Vec::new();
+    let mut speedup_p20 = 0.0;
+    for shift in [17u32, 20] {
+        let p = 1usize << shift;
+        let reps = if shift >= 20 { 10 } else { 30 };
+        let src = Region::new(0, p);
+        let dst = Region::new(p, p);
+        let body = move |ctx: &mut parmatch_pram::ProcCtx<'_>| {
+            let v = ctx.read(ctx.pid());
+            ctx.write(p + ctx.pid(), v + 1);
+        };
+        let legacy_body = move |ctx: &mut parmatch_pram::LegacyCtx<'_>| {
+            let v = ctx.read(ctx.pid());
+            ctx.write(p + ctx.pid(), v + 1);
+        };
+        let mut variants: Vec<(&str, f64)> = Vec::new();
+        {
+            let mut m = LegacyMachine::new(Model::Erew, 2 * p);
+            variants.push((
+                "legacy_checked",
+                med(reps, || m.step(p, legacy_body).unwrap()),
+            ));
+        }
+        {
+            let mut m = Machine::new(Model::Erew, 2 * p);
+            variants.push(("new_checked", med(reps, || m.step(p, body).unwrap())));
+        }
+        {
+            let mut m = Machine::new(Model::Erew, 2 * p);
+            variants.push((
+                "dense_checked",
+                med(reps, || {
+                    m.dense_step(p, &[dst], |ctx| {
+                        let v = ctx.get(src, ctx.pid());
+                        ctx.put(0, v + 1);
+                    })
+                    .unwrap()
+                }),
+            ));
+        }
+        {
+            let mut m = LegacyMachine::new_fast(Model::Erew, 2 * p);
+            variants.push(("legacy_fast", med(reps, || m.step(p, legacy_body).unwrap())));
+        }
+        {
+            let mut m = Machine::new_fast(Model::Erew, 2 * p);
+            variants.push(("new_fast", med(reps, || m.step(p, body).unwrap())));
+        }
+        {
+            let mut m = Machine::new_fast(Model::Erew, 2 * p);
+            variants.push((
+                "dense_fast",
+                med(reps, || {
+                    m.dense_step(p, &[dst], |ctx| {
+                        let v = ctx.get(src, ctx.pid());
+                        ctx.put(0, v + 1);
+                    })
+                    .unwrap()
+                }),
+            ));
+        }
+        let legacy_checked = variants[0].1;
+        for &(name, secs) in &variants {
+            let base = if name.ends_with("fast") {
+                variants[3].1
+            } else {
+                legacy_checked
+            };
+            rows.push(vec![
+                format!("2^{shift}"),
+                name.to_string(),
+                format!("{:.3} ms", secs * 1e3),
+                format!("{:.1}M", p as f64 / secs / 1e6),
+                format!("{:.2}x", base / secs),
+            ]);
+            json_steps.push(format!(
+                "    {{\"p\": {p}, \"variant\": \"{name}\", \"secs_per_step\": {secs:.6}, \"proc_steps_per_sec\": {:.0}}}",
+                p as f64 / secs
+            ));
+        }
+        if shift == 20 {
+            speedup_p20 = legacy_checked / variants[1].1;
+        }
+    }
+    print_table(
+        &["p", "engine", "per step", "proc-steps/s", "vs legacy"],
+        &rows,
+    );
+    println!("(speedup at p=2^20 checked, new vs legacy: {speedup_p20:.2}x)");
+    json_field("engine_step", format!("[\n{}\n  ]", json_steps.join(",\n")));
+    json_field("speedup_checked_p20", format!("{speedup_p20:.3}"));
+
+    // E4/E7-shaped sweeps: whole algorithms on the simulator,
+    // simulated steps per wall-second with the new engine.
+    println!();
+    println!("simulated-step throughput on the E4/E7 algorithm sweeps:");
+    let n = 1usize << 12;
+    let list = random_list(n, SEED);
+    let mut rows = Vec::new();
+    let mut json_e4 = Vec::new();
+    for exp in [4u32, 8, 12] {
+        let p = 1usize << exp;
+        let t = Instant::now();
+        let out = match1_pram(&list, p, CoinVariant::Msb, ExecMode::Fast).unwrap();
+        let secs = t.elapsed().as_secs_f64();
+        rows.push(vec![
+            format!("e4 match1 p=2^{exp}"),
+            out.stats.steps.to_string(),
+            fmt_dur(t.elapsed()),
+            format!("{:.0}", out.stats.steps as f64 / secs),
+        ]);
+        json_e4.push(format!(
+            "    {{\"p\": {p}, \"steps\": {}, \"wall_s\": {secs:.4}, \"steps_per_sec\": {:.0}}}",
+            out.stats.steps,
+            out.stats.steps as f64 / secs
+        ));
+    }
+    let mut json_e7 = Vec::new();
+    for i in 1..=3u32 {
+        let t = Instant::now();
+        let out = match4_pram(&list, i, None, CoinVariant::Msb, ExecMode::Fast).unwrap();
+        let secs = t.elapsed().as_secs_f64();
+        rows.push(vec![
+            format!("e7 match4 i={i}"),
+            out.stats.steps.to_string(),
+            fmt_dur(t.elapsed()),
+            format!("{:.0}", out.stats.steps as f64 / secs),
+        ]);
+        json_e7.push(format!(
+            "    {{\"i\": {i}, \"p\": {}, \"steps\": {}, \"wall_s\": {secs:.4}, \"steps_per_sec\": {:.0}}}",
+            out.cols,
+            out.stats.steps,
+            out.stats.steps as f64 / secs
+        ));
+    }
+    print_table(&["sweep", "sim steps", "wall", "sim steps/s"], &rows);
+    json_field("e4_match1", format!("[\n{}\n  ]", json_e4.join(",\n")));
+    json_field("e7_match4", format!("[\n{}\n  ]", json_e7.join(",\n")));
+}
 
 /// E1 (Fig. 1–2): forward/backward pointers crossing each bisecting line
 /// form matchings; histogram of g-values.
@@ -94,7 +288,13 @@ fn e1_bisecting_lines() {
         ]);
     }
     print_table(
-        &["bisecting level k", "forward", "backward", "fwd is matching", "bwd is matching"],
+        &[
+            "bisecting level k",
+            "forward",
+            "backward",
+            "fwd is matching",
+            "bwd is matching",
+        ],
         &rows,
     );
     println!("(every row must read true/true: Section 2's intuitive observation)");
@@ -118,7 +318,10 @@ fn e2_lemma1() {
             lsb.distinct_sets().to_string(),
         ]);
     }
-    print_table(&["n", "bound 2·log n", "sets (MSB f)", "sets (LSB f)"], &rows);
+    print_table(
+        &["n", "bound 2·log n", "sets (MSB f)", "sets (LSB f)"],
+        &rows,
+    );
 }
 
 /// E3 (Lemma 2 / Lemma 3): k applications give ≤ 2·log^(k-1) n (1+o(1)).
@@ -140,7 +343,14 @@ fn e3_lemma2() {
         rows.push(row);
     }
     print_table(
-        &["n", "k=1 (meas/2·n→)", "k=2 (/2·log n)", "k=3 (/2·llog n)", "k=4", "k=5"],
+        &[
+            "n",
+            "k=1 (meas/2·n→)",
+            "k=2 (/2·log n)",
+            "k=3 (/2·llog n)",
+            "k=4",
+            "k=5",
+        ],
         &rows,
     );
     println!("(cells are measured distinct sets / the 2·log^(k-1) n reference)");
@@ -204,8 +414,14 @@ fn e5_match2() {
             p.to_string(),
             out.stats.steps.to_string(),
             out.sort_steps.to_string(),
-            format!("{:.0}%", 100.0 * out.sort_steps as f64 / out.stats.steps as f64),
-            format!("{:.1}", cost::work_efficiency(n as u64, p as u64, out.stats.steps)),
+            format!(
+                "{:.0}%",
+                100.0 * out.sort_steps as f64 / out.stats.steps as f64
+            ),
+            format!(
+                "{:.1}",
+                cost::work_efficiency(n as u64, p as u64, out.stats.steps)
+            ),
         ]);
     }
     print_table(&["p", "steps", "sort steps", "sort share", "p·T/n"], &rows);
@@ -219,7 +435,10 @@ fn e6_match3() {
     let list = random_list(n, SEED);
     let mut rows = Vec::new();
     for k in [2u32, 3, 4, 6] {
-        let cfg = Match3Config { crunch_rounds: k, ..Match3Config::default() };
+        let cfg = Match3Config {
+            crunch_rounds: k,
+            ..Match3Config::default()
+        };
         match timed(|| match3(&list, cfg)) {
             (Ok(out), d) => {
                 verify::assert_maximal_matching(&list, &out.matching);
@@ -232,11 +451,26 @@ fn e6_match3() {
                 ]);
             }
             (Err(e), _) => {
-                rows.push(vec![k.to_string(), "-".into(), format!("({e})"), "-".into(), "-".into()]);
+                rows.push(vec![
+                    k.to_string(),
+                    "-".into(),
+                    format!("({e})"),
+                    "-".into(),
+                    "-".into(),
+                ]);
             }
         }
     }
-    print_table(&["crunch k", "jump rounds", "table size", "final bound", "wall time"], &rows);
+    print_table(
+        &[
+            "crunch k",
+            "jump rounds",
+            "table size",
+            "final bound",
+            "wall time",
+        ],
+        &rows,
+    );
     let (m1, d1) = timed(|| match1(&list, CoinVariant::Msb));
     verify::assert_maximal_matching(&list, &m1.matching);
     println!("(reference: Match1 on the same list takes {} with {} rounds — Match3 trades its G(n) rounds for log G(n) jumps + one probe; n = 2^20)",
@@ -259,7 +493,10 @@ fn e7_match4() {
             out.rows.to_string(),
             out.cols.to_string(),
             out.stats.steps.to_string(),
-            format!("{:.1}", cost::work_efficiency(n as u64, out.cols as u64, out.stats.steps)),
+            format!(
+                "{:.1}",
+                cost::work_efficiency(n as u64, out.cols as u64, out.stats.steps)
+            ),
         ]);
     }
     print_table(&["i", "rows x", "p = n/x", "steps", "p·T/n"], &rows);
@@ -299,7 +536,13 @@ fn e7_match4() {
         ]);
     }
     print_table(
-        &["n", "Match2 p=n/log n", "Match2 steps", "Match4 p=n/x (i=3)", "Match4 steps"],
+        &[
+            "n",
+            "Match2 p=n/log n",
+            "Match2 steps",
+            "Match4 p=n/x (i=3)",
+            "Match4 steps",
+        ],
         &rows,
     );
     println!("(Match2's steps grow with log n; Match4's stay flat while using MORE processors)");
@@ -334,7 +577,12 @@ fn e8_walkdown() {
         ]);
     }
     print_table(
-        &["A column (x=16)", "marked at A[r]+r", "last step", "bound 2x-2"],
+        &[
+            "A column (x=16)",
+            "marked at A[r]+r",
+            "last step",
+            "bound 2x-2",
+        ],
         &rows,
     );
 
@@ -383,7 +631,14 @@ fn e9_applications() {
         ]);
     }
     print_table(
-        &["n", "MIS size", "CV rounds", "random rounds", "contraction work", "Wyllie work"],
+        &[
+            "n",
+            "MIS size",
+            "CV rounds",
+            "random rounds",
+            "contraction work",
+            "Wyllie work",
+        ],
         &rows,
     );
     println!("(deterministic rounds stay constant while randomized rounds grow with log n; contraction work stays ≈ 2.3n while Wyllie's grows as n·log n)");
@@ -406,7 +661,13 @@ fn e9_applications() {
         ]);
     }
     print_table(
-        &["n", "pure levels", "cascade levels", "switch size", "cascade work"],
+        &[
+            "n",
+            "pure levels",
+            "cascade levels",
+            "switch size",
+            "cascade work",
+        ],
         &rows,
     );
 
@@ -427,7 +688,12 @@ fn e9_applications() {
         ]);
     }
     print_table(
-        &["n", "Wyllie steps", "Wyllie work", "one Match4 level's work"],
+        &[
+            "n",
+            "Wyllie steps",
+            "Wyllie work",
+            "one Match4 level's work",
+        ],
         &rows,
     );
     println!("(Wyllie's work/n grows with log n; each matching-contraction level stays flat — the growth gap behind optimal ranking)");
@@ -459,7 +725,10 @@ fn e10_appendix() {
             iterated_log_ceil(n, 3).to_string(),
         ]);
     }
-    print_table(&["n", "G(n)", "log G(n)", "⌈log^(2) n⌉", "⌈log^(3) n⌉"], &rows);
+    print_table(
+        &["n", "G(n)", "log G(n)", "⌈log^(2) n⌉", "⌈log^(3) n⌉"],
+        &rows,
+    );
 
     println!();
     println!("f^(m) lookup tables (Match3 step 4 / appendix guess-and-verify):");
@@ -480,7 +749,14 @@ fn e10_appendix() {
         ]);
     }
     print_table(
-        &["bits/arg w", "args m", "entries", "value bound", "guess-verify ok", "build"],
+        &[
+            "bits/arg w",
+            "args m",
+            "entries",
+            "value bound",
+            "guess-verify ok",
+            "build",
+        ],
         &rows,
     );
     // fold sanity line
@@ -503,7 +779,11 @@ fn e12_shift_graph() {
         let (k, colors) = sperner_shift_coloring(n);
         assert!(shift_coloring_is_proper(n, &colors));
         let greedy = greedy_shift_coloring(n);
-        let exact = if n <= 5 { exact_shift_chromatic(n).to_string() } else { "-".into() };
+        let exact = if n <= 5 {
+            exact_shift_chromatic(n).to_string()
+        } else {
+            "-".into()
+        };
         rows.push(vec![
             n.to_string(),
             log_n.to_string(),
@@ -514,7 +794,14 @@ fn e12_shift_graph() {
         ]);
     }
     print_table(
-        &["labels n", "⌈log n⌉ floor", "χ exact", "Sperner (Remark)", "f (Lemma 1)", "naive greedy"],
+        &[
+            "labels n",
+            "⌈log n⌉ floor",
+            "χ exact",
+            "Sperner (Remark)",
+            "f (Lemma 1)",
+            "naive greedy",
+        ],
         &rows,
     );
     println!(
@@ -532,7 +819,10 @@ fn e13_erew_machinery() {
     let mut rows = Vec::new();
     for (jump, label) in [(Some(1u32), "j=1, |T|=2^8"), (None, "j=2, |T|=2^16")] {
         for p in [4usize, 64, 256] {
-            let cfg = Match3Config { jump_rounds: jump, ..Match3Config::default() };
+            let cfg = Match3Config {
+                jump_rounds: jump,
+                ..Match3Config::default()
+            };
             let out = match3_pram(&list, p, cfg, ExecMode::Fast).unwrap();
             verify::assert_maximal_matching(&list, &out.matching);
             rows.push(vec![
@@ -545,7 +835,13 @@ fn e13_erew_machinery() {
         }
     }
     print_table(
-        &["config", "p", "Match3 steps", "broadcast steps", "replicated words (p·|T|)"],
+        &[
+            "config",
+            "p",
+            "Match3 steps",
+            "broadcast steps",
+            "replicated words (p·|T|)",
+        ],
         &rows,
     );
     println!(
@@ -570,7 +866,14 @@ fn e13_erew_machinery() {
         ]);
     }
     print_table(
-        &["n", "main list len", "G(n)", "jump rounds", "log G(n)", "steps (p=n)"],
+        &[
+            "n",
+            "main list len",
+            "G(n)",
+            "jump rounds",
+            "log G(n)",
+            "steps (p=n)",
+        ],
         &rows,
     );
     println!("(the pointer-jumping evaluation returns Θ(G) and Θ(log G) in O(log G(n)) steps with n processors — the appendix's claim)");
@@ -597,7 +900,13 @@ fn e14_optimal_ranking() {
         ]);
     }
     print_table(
-        &["n", "contract levels", "switch size", "contraction work", "Wyllie work (p=64)"],
+        &[
+            "n",
+            "contract levels",
+            "switch size",
+            "contraction work",
+            "Wyllie work (p=64)",
+        ],
         &rows,
     );
     println!(
@@ -636,6 +945,9 @@ fn e11_native() {
             fmt_dur(dr),
         ]);
     }
-    print_table(&["threads", "Match1", "Match2", "Match4", "randomized"], &rows);
+    print_table(
+        &["threads", "Match1", "Match2", "Match4", "randomized"],
+        &rows,
+    );
     println!("(n = 2^22 random layout; deterministic matchers scale with threads and beat the randomized baseline's log n rounds)");
 }

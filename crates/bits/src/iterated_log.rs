@@ -269,12 +269,30 @@ mod tests {
         let rev = BitReversalTable::new(8);
         let unary = UnaryToBinaryTable::new(width);
         // floor-based iterates: log log 65536 = 4, third iterate 2, fourth 1.
-        assert_eq!(iterated_log_via_tables(65536, 0, width, &rev, &unary), Some(65536));
-        assert_eq!(iterated_log_via_tables(65536, 1, width, &rev, &unary), Some(16));
-        assert_eq!(iterated_log_via_tables(65536, 2, width, &rev, &unary), Some(4));
-        assert_eq!(iterated_log_via_tables(65536, 3, width, &rev, &unary), Some(2));
-        assert_eq!(iterated_log_via_tables(65536, 4, width, &rev, &unary), Some(1));
-        assert_eq!(iterated_log_via_tables(65536, 5, width, &rev, &unary), Some(0));
+        assert_eq!(
+            iterated_log_via_tables(65536, 0, width, &rev, &unary),
+            Some(65536)
+        );
+        assert_eq!(
+            iterated_log_via_tables(65536, 1, width, &rev, &unary),
+            Some(16)
+        );
+        assert_eq!(
+            iterated_log_via_tables(65536, 2, width, &rev, &unary),
+            Some(4)
+        );
+        assert_eq!(
+            iterated_log_via_tables(65536, 3, width, &rev, &unary),
+            Some(2)
+        );
+        assert_eq!(
+            iterated_log_via_tables(65536, 4, width, &rev, &unary),
+            Some(1)
+        );
+        assert_eq!(
+            iterated_log_via_tables(65536, 5, width, &rev, &unary),
+            Some(0)
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl BitReversalTable {
     /// Panics if `chunk_bits` is 0 or exceeds 24 (dense-table safety cap).
     pub fn new(chunk_bits: u32) -> Self {
         assert!(chunk_bits > 0, "chunk width must be positive");
-        assert!(chunk_bits <= 24, "dense reversal table capped at 24 bits (asked for {chunk_bits})");
+        assert!(
+            chunk_bits <= 24,
+            "dense reversal table capped at 24 bits (asked for {chunk_bits})"
+        );
         let size = 1usize << chunk_bits;
         let mut table = vec![0u32; size];
         for (v, slot) in table.iter_mut().enumerate() {
@@ -70,10 +73,7 @@ impl BitReversalTable {
     pub fn reverse(&self, x: Word, width: u32) -> Word {
         assert!(width > 0 && width <= 64, "width must be in 1..=64");
         if width < 64 {
-            assert!(
-                x >> width == 0,
-                "value {x:#x} does not fit in {width} bits"
-            );
+            assert!(x >> width == 0, "value {x:#x} does not fit in {width} bits");
         }
         let cb = self.chunk_bits;
         let mask = (1u64 << cb) - 1;
@@ -126,8 +126,16 @@ mod tests {
         let t = BitReversalTable::new(8);
         for width in [1u32, 3, 8, 13, 16, 21, 32, 47, 64] {
             for seed in [0u64, 1, 0xDEADBEEF, 0x0123_4567_89AB_CDEF] {
-                let x = if width == 64 { seed } else { seed & ((1 << width) - 1) };
-                assert_eq!(t.reverse(t.reverse(x, width), width), x, "width={width} x={x:#x}");
+                let x = if width == 64 {
+                    seed
+                } else {
+                    seed & ((1 << width) - 1)
+                };
+                assert_eq!(
+                    t.reverse(t.reverse(x, width), width),
+                    x,
+                    "width={width} x={x:#x}"
+                );
             }
         }
     }

@@ -54,7 +54,10 @@ impl UnaryToBinaryTable {
     /// hardware instruction instead).
     pub fn new(bits: u32) -> Self {
         assert!(bits > 0, "table must cover at least one exponent");
-        assert!(bits <= 32, "dense unary table limited to 32 bits (asked for {bits})");
+        assert!(
+            bits <= 32,
+            "dense unary table limited to 32 bits (asked for {bits})"
+        );
         let mut table = vec![UNUSED; 1usize << bits];
         for k in 0..bits {
             table[1usize << k] = k as u8;

@@ -1,8 +1,8 @@
 //! Property-based tests for the bit-manipulation substrate.
 
 use parmatch_bits::{
-    bit_of, g_of, ilog2_ceil, ilog2_floor, iterated_log_ceil, lsb_diff, msb_diff,
-    BitReversalTable, UnaryToBinaryTable,
+    bit_of, g_of, ilog2_ceil, ilog2_floor, iterated_log_ceil, lsb_diff, msb_diff, BitReversalTable,
+    UnaryToBinaryTable,
 };
 use proptest::prelude::*;
 

@@ -79,7 +79,8 @@ impl Args {
 
     /// Required string option.
     pub fn require(&self, key: &str) -> Result<&str, ArgError> {
-        self.get(key).ok_or_else(|| ArgError::Missing(key.to_string()))
+        self.get(key)
+            .ok_or_else(|| ArgError::Missing(key.to_string()))
     }
 
     /// Typed option with a default.
@@ -145,6 +146,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(ArgError::Missing("n".into()).to_string().contains("--n"));
-        assert!(ArgError::MissingValue("x".into()).to_string().contains("--x"));
+        assert!(ArgError::MissingValue("x".into())
+            .to_string()
+            .contains("--x"));
     }
 }

@@ -57,11 +57,17 @@ impl std::error::Error for CliError {}
 
 impl CliError {
     fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into(), show_usage: false }
+        Self {
+            message: message.into(),
+            show_usage: false,
+        }
     }
 
     fn usage(message: impl Into<String>) -> Self {
-        Self { message: message.into(), show_usage: true }
+        Self {
+            message: message.into(),
+            show_usage: true,
+        }
     }
 }
 
@@ -94,7 +100,9 @@ fn variant_of(args: &Args) -> Result<CoinVariant, CliError> {
     match args.get("variant").unwrap_or("msb") {
         "msb" => Ok(CoinVariant::Msb),
         "lsb" => Ok(CoinVariant::Lsb),
-        other => Err(CliError::new(format!("unknown variant {other:?} (msb|lsb)"))),
+        other => Err(CliError::new(format!(
+            "unknown variant {other:?} (msb|lsb)"
+        ))),
     }
 }
 
@@ -155,7 +163,10 @@ fn cmd_match(args: &Args) -> Result<String, CliError> {
         }
         "match1" => {
             let out = match1(&list, variant);
-            (out.matching, format!(" in {} f-rounds (bound {})", out.rounds, out.final_bound))
+            (
+                out.matching,
+                format!(" in {} f-rounds (bound {})", out.rounds, out.final_bound),
+            )
         }
         "match2" => {
             let out = match2(&list, args.get_or("rounds", 2)?, variant);
@@ -173,14 +184,20 @@ fn cmd_match(args: &Args) -> Result<String, CliError> {
             let out = match3(&list, cfg).map_err(|e| CliError::new(e.to_string()))?;
             (
                 out.matching,
-                format!(" via a 2^{}-entry table, {} jumps", out.table_bits, out.jump_rounds),
+                format!(
+                    " via a 2^{}-entry table, {} jumps",
+                    out.table_bits, out.jump_rounds
+                ),
             )
         }
         "match4" => {
             let out = match4_with(&list, args.get_or("i", 2)?, variant);
             (
                 out.matching,
-                format!(" on a {}×{} grid, {} walk rounds", out.rows, out.cols, out.walk_rounds),
+                format!(
+                    " on a {}×{} grid, {} walk rounds",
+                    out.rows, out.cols, out.walk_rounds
+                ),
             )
         }
         other => return Err(CliError::new(format!("unknown algo {other:?}"))),
@@ -203,7 +220,10 @@ fn cmd_rank(args: &Args) -> Result<String, CliError> {
     let (ranks, extra) = match args.get("algo").unwrap_or("contraction") {
         "contraction" => {
             let out = parmatch_apps::rank_by_contraction(&list, i, CoinVariant::Msb);
-            (out.ranks, format!("{} levels, {} node-visits", out.levels, out.work))
+            (
+                out.ranks,
+                format!("{} levels, {} node-visits", out.levels, out.work),
+            )
         }
         "cascade" => {
             let out = parmatch_apps::rank_accelerated(&list, i, CoinVariant::Msb);
@@ -217,7 +237,10 @@ fn cmd_rank(args: &Args) -> Result<String, CliError> {
         }
         "wyllie" => {
             let out = parmatch_baselines::wyllie_ranks(&list);
-            (out.ranks, format!("{} rounds, {} node-visits", out.rounds, out.work))
+            (
+                out.ranks,
+                format!("{} rounds, {} node-visits", out.rounds, out.work),
+            )
         }
         other => return Err(CliError::new(format!("unknown algo {other:?}"))),
     };
@@ -267,7 +290,11 @@ fn cmd_mis(args: &Args) -> Result<String, CliError> {
     Ok(format!(
         "maximal independent set of {k} / {} nodes ({:.1}%, verified)\n",
         list.len(),
-        if list.is_empty() { 0.0 } else { 100.0 * k as f64 / list.len() as f64 }
+        if list.is_empty() {
+            0.0
+        } else {
+            100.0 * k as f64 / list.len() as f64
+        }
     ))
 }
 
@@ -277,7 +304,11 @@ fn cmd_steps(args: &Args) -> Result<String, CliError> {
     let list = random_list(n, seed);
     let p: usize = args.get_or("p", 64)?;
     let i: u32 = args.get_or("i", 2)?;
-    let mode = if args.flag("checked") { ExecMode::Checked } else { ExecMode::Fast };
+    let mode = if args.flag("checked") {
+        ExecMode::Checked
+    } else {
+        ExecMode::Fast
+    };
     let err = |e: parmatch_pram::PramError| CliError::new(e.to_string());
     let (stats, extra) = match args.require("algo")? {
         "match1" => {
@@ -285,15 +316,17 @@ fn cmd_steps(args: &Args) -> Result<String, CliError> {
             (out.stats, format!("{} f-rounds", out.relabel_rounds))
         }
         "match2" => {
-            let out =
-                match2_pram(&list, p, args.get_or("rounds", 2)?, CoinVariant::Msb, mode)
-                    .map_err(err)?;
+            let out = match2_pram(&list, p, args.get_or("rounds", 2)?, CoinVariant::Msb, mode)
+                .map_err(err)?;
             (out.stats, format!("{} sort steps", out.sort_steps))
         }
         "match3" => {
             let out = match3_pram(&list, p, Match3Config::default(), mode)
                 .map_err(|e| CliError::new(e.to_string()))?;
-            (out.stats, format!("{} broadcast steps", out.broadcast_steps))
+            (
+                out.stats,
+                format!("{} broadcast steps", out.broadcast_steps),
+            )
         }
         "match4" => {
             let out = match4_pram(&list, i, None, CoinVariant::Msb, mode).map_err(err)?;
@@ -305,7 +338,10 @@ fn cmd_steps(args: &Args) -> Result<String, CliError> {
         }
         "rank" => {
             let out = rank_pram(&list, i, mode).map_err(err)?;
-            (out.stats, format!("{} levels, switch at {}", out.levels, out.switch_size))
+            (
+                out.stats,
+                format!("{} levels, switch at {}", out.levels, out.switch_size),
+            )
         }
         other => return Err(CliError::new(format!("unknown algo {other:?}"))),
     };
@@ -334,7 +370,10 @@ mod tests {
     use super::*;
 
     fn cli(line: &str) -> Result<String, CliError> {
-        run(&line.split_whitespace().map(String::from).collect::<Vec<_>>())
+        run(&line
+            .split_whitespace()
+            .map(String::from)
+            .collect::<Vec<_>>())
     }
 
     #[test]

@@ -11,10 +11,15 @@ fn parmatch(args: &[&str]) -> std::process::Output {
 
 #[test]
 fn match_verify_succeeds() {
-    let out = parmatch(&["match", "--algo", "match4", "--n", "2000", "--seed", "3", "--verify"]);
+    let out = parmatch(&[
+        "match", "--algo", "match4", "--n", "2000", "--seed", "3", "--verify",
+    ]);
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8(out.stdout).unwrap();
-    assert!(stdout.contains("verified: matching ✓ maximal ✓"), "{stdout}");
+    assert!(
+        stdout.contains("verified: matching ✓ maximal ✓"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -25,7 +30,14 @@ fn gen_pipes_into_match() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("bitrev.txt");
     std::fs::write(&path, &gen.stdout).unwrap();
-    let out = parmatch(&["match", "--algo", "match2", "--input", path.to_str().unwrap(), "--verify"]);
+    let out = parmatch(&[
+        "match",
+        "--algo",
+        "match2",
+        "--input",
+        path.to_str().unwrap(),
+        "--verify",
+    ]);
     assert!(out.status.success(), "{out:?}");
     std::fs::remove_file(&path).ok();
 }
@@ -50,5 +62,8 @@ fn steps_reports_counts() {
     let out = parmatch(&["steps", "--algo", "match4", "--n", "512", "--i", "2"]);
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8(out.stdout).unwrap();
-    assert!(stdout.contains("steps=") && stdout.contains("work="), "{stdout}");
+    assert!(
+        stdout.contains("steps=") && stdout.contains("work="),
+        "{stdout}"
+    );
 }

@@ -32,7 +32,9 @@ pub fn sublist_length_histogram(list: &LinkedList, labels: &LabelSeq) -> Vec<usi
 /// run is unimodal: strictly rising then strictly falling over at most
 /// `bound` distinct values each way).
 pub fn max_sublist_len(list: &LinkedList, labels: &LabelSeq) -> usize {
-    sublist_length_histogram(list, labels).len().saturating_sub(1)
+    sublist_length_histogram(list, labels)
+        .len()
+        .saturating_sub(1)
 }
 
 /// Matching-set balance: `(smallest, largest, mean)` nonempty set sizes
@@ -115,8 +117,7 @@ mod tests {
         // (bound ≤ 9) no sublist exceeds 2·bound − 1 = 17 nodes.
         for seed in 0..6 {
             let list = random_list(20_000, seed);
-            let labels =
-                LabelSeq::initial(&list, CoinVariant::Msb).relabel_to_convergence(&list);
+            let labels = LabelSeq::initial(&list, CoinVariant::Msb).relabel_to_convergence(&list);
             let max = max_sublist_len(&list, &labels);
             assert!(
                 max < 2 * labels.bound() as usize,
@@ -166,7 +167,10 @@ mod tests {
         let m = crate::match4(&list, 2).matching;
         let f = matched_fraction(&list, &m);
         assert!((1.0 / 3.0..=0.5001).contains(&f), "fraction {f}");
-        assert_eq!(matched_fraction(&sequential_list(1), &Matching::empty(1)), 0.0);
+        assert_eq!(
+            matched_fraction(&sequential_list(1), &Matching::empty(1)),
+            0.0
+        );
     }
 
     #[test]

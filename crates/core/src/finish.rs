@@ -176,8 +176,7 @@ mod tests {
     fn from_labels_is_maximal_on_converged_labels() {
         for seed in 0..5 {
             let list = random_list(2000, seed);
-            let l = LabelSeq::initial(&list, CoinVariant::Msb)
-                .relabel_to_convergence(&list);
+            let l = LabelSeq::initial(&list, CoinVariant::Msb).relabel_to_convergence(&list);
             let m = from_labels(&list, l.labels());
             verify::assert_maximal_matching(&list, &m);
         }

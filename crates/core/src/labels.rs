@@ -309,8 +309,7 @@ mod tests {
     #[test]
     fn convergence_reaches_constant_bound() {
         let list = random_list(1 << 16, 9);
-        let l = LabelSeq::initial(&list, CoinVariant::Msb)
-            .relabel_to_convergence(&list);
+        let l = LabelSeq::initial(&list, CoinVariant::Msb).relabel_to_convergence(&list);
         // fixed point of b -> 2 ceil(log2 b)+1 is 9 (w=4)
         assert!(l.bound() <= 9, "bound {}", l.bound());
         assert!(l.converged());

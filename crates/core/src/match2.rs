@@ -63,7 +63,10 @@ pub fn match2(list: &LinkedList, rounds: u32, variant: CoinVariant) -> Match2Out
     }
     let partition = pointer_sets(list, rounds, variant);
     let matching = greedy_by_sets(list, &partition, None);
-    Match2Output { matching, partition }
+    Match2Output {
+        matching,
+        partition,
+    }
 }
 
 #[cfg(test)]
@@ -89,8 +92,11 @@ mod tests {
         let list = random_list(1 << 16, 4);
         let out = match2(&list, 2, CoinVariant::Msb);
         // 2 log^(2) 65536 = 8, plus sentinel slack
-        assert!(out.partition.distinct_sets() <= 11,
-            "sets: {}", out.partition.distinct_sets());
+        assert!(
+            out.partition.distinct_sets() <= 11,
+            "sets: {}",
+            out.partition.distinct_sets()
+        );
     }
 
     #[test]

@@ -125,8 +125,7 @@ pub fn match3(list: &LinkedList, config: Match3Config) -> Result<Match3Output, M
     }
 
     // Step 2: crunch.
-    let crunched =
-        LabelSeq::initial(list, config.variant).relabel_k(list, config.crunch_rounds);
+    let crunched = LabelSeq::initial(list, config.variant).relabel_k(list, config.crunch_rounds);
     let w = crunched.width_bits();
 
     // Pick j: ≈ log G(n), capped so the table index (w·2^j bits) fits.
@@ -212,7 +211,10 @@ mod tests {
     fn explicit_jump_rounds() {
         let list = random_list(4096, 7);
         for j in 1..=2 {
-            let cfg = Match3Config { jump_rounds: Some(j), ..Match3Config::default() };
+            let cfg = Match3Config {
+                jump_rounds: Some(j),
+                ..Match3Config::default()
+            };
             let out = match3(&list, cfg).unwrap();
             assert_eq!(out.jump_rounds, j);
             verify::assert_maximal_matching(&list, &out.matching);
@@ -222,7 +224,10 @@ mod tests {
     #[test]
     fn lsb_variant() {
         let list = random_list(3000, 1);
-        let cfg = Match3Config { variant: CoinVariant::Lsb, ..Match3Config::default() };
+        let cfg = Match3Config {
+            variant: CoinVariant::Lsb,
+            ..Match3Config::default()
+        };
         let out = match3(&list, cfg).unwrap();
         verify::assert_maximal_matching(&list, &out.matching);
     }
@@ -239,13 +244,19 @@ mod tests {
             ..Match3Config::default()
         };
         let err = match3(&list, cfg).unwrap_err();
-        assert!(matches!(err, Match3Error::Table(TableError::TooLarge { .. })), "{err}");
+        assert!(
+            matches!(err, Match3Error::Table(TableError::TooLarge { .. })),
+            "{err}"
+        );
     }
 
     #[test]
     fn zero_crunch_rejected() {
         let list = sequential_list(16);
-        let cfg = Match3Config { crunch_rounds: 0, ..Match3Config::default() };
+        let cfg = Match3Config {
+            crunch_rounds: 0,
+            ..Match3Config::default()
+        };
         assert_eq!(match3(&list, cfg).unwrap_err(), Match3Error::NoCrunch);
     }
 

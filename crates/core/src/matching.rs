@@ -18,7 +18,9 @@ pub struct Matching {
 impl Matching {
     /// An empty matching over a list of `n` nodes.
     pub fn empty(n: usize) -> Self {
-        Self { in_matching: vec![false; n] }
+        Self {
+            in_matching: vec![false; n],
+        }
     }
 
     /// Build from a membership mask over pointer tails.
@@ -70,7 +72,10 @@ impl Matching {
                 }
                 let head = list.next_raw(v as NodeId);
                 debug_assert_ne!(head, NIL);
-                Some(Pointer { tail: v as NodeId, head })
+                Some(Pointer {
+                    tail: v as NodeId,
+                    head,
+                })
             })
             .collect()
     }

@@ -41,7 +41,10 @@ impl PointerSets {
     /// Panics if `labels` has had no relabel round (addresses are not a
     /// useful partition) or sizes mismatch.
     pub fn from_labels(list: &LinkedList, labels: &LabelSeq) -> Self {
-        assert!(labels.rounds() >= 1, "partition needs at least one relabel round");
+        assert!(
+            labels.rounds() >= 1,
+            "partition needs at least one relabel round"
+        );
         assert_eq!(list.len(), labels.labels().len(), "size mismatch");
         let ls = labels.labels();
         let set: Vec<Word> = (0..list.len())
@@ -54,13 +57,21 @@ impl PointerSets {
                 }
             })
             .collect();
-        Self { set, bound: labels.bound(), rounds: labels.rounds() }
+        Self {
+            set,
+            bound: labels.bound(),
+            rounds: labels.rounds(),
+        }
     }
 
     /// A partition over a degenerate list with no pointers: every slot
     /// holds [`NO_POINTER`]. Used for the `n < 2` short-circuits.
     pub fn trivial(n: usize) -> Self {
-        Self { set: vec![NO_POINTER; n], bound: 1, rounds: 1 }
+        Self {
+            set: vec![NO_POINTER; n],
+            bound: 1,
+            rounds: 1,
+        }
     }
 
     /// Assemble a partition from a raw per-tail set array (tail slot
@@ -225,10 +236,7 @@ mod tests {
         let ps = pointer_sets(&list, 2, CoinVariant::Msb);
         let hist = ps.histogram();
         assert_eq!(hist.iter().sum::<usize>(), list.pointer_count());
-        assert_eq!(
-            hist.iter().filter(|&&c| c > 0).count(),
-            ps.distinct_sets()
-        );
+        assert_eq!(hist.iter().filter(|&&c| c > 0).count(), ps.distinct_sets());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! (EREW-legal) and the whole replication costs
 //! `O(copies·len/p + log copies)` steps.
 
-use super::par_for;
+use super::dense_for;
 use parmatch_pram::{Machine, PramError, Region};
 
 /// Replicate `src` (length `len`) into `dst` (length `copies·len`,
@@ -34,19 +34,23 @@ pub fn broadcast_copies(
         return Ok(());
     }
     // Round 0: one sweep seeds dst copy 0 from src.
-    par_for(m, len, p, move |ctx, j| {
-        let v = src.get(ctx, j);
-        dst.set(ctx, j, v);
+    let copy0 = Region::new(dst.base(), len);
+    dense_for(m, len, p, &[copy0], move |ctx, j| {
+        let v = ctx.get(src, j);
+        ctx.put(0, v);
     })?;
-    // Doubling rounds: replicas 0..have copy onto have..2·have.
+    // Doubling rounds: replicas 0..have copy onto have..2·have. The
+    // write target of element `idx` is `dst[have·len + idx]` — dense
+    // over the batch's sub-region; all reads stay below it.
     let mut have = 1usize;
     while have < copies {
         let batch = have.min(copies - have);
-        par_for(m, batch * len, p, move |ctx, idx| {
+        let out = Region::new(dst.base() + have * len, batch * len);
+        dense_for(m, batch * len, p, &[out], move |ctx, idx| {
             let q = idx / len; // source replica index (reads are 1:1)
             let j = idx % len;
-            let v = dst.get(ctx, q * len + j);
-            dst.set(ctx, (have + q) * len + j, v);
+            let v = ctx.get(dst, q * len + j);
+            ctx.put(0, v);
         })?;
         have += batch;
     }

@@ -20,8 +20,7 @@
 //! [`ExecMode::Checked`].
 
 use super::{
-    cut_and_walk_finish, init_labels, load_list, mask_from_region, relabel_k_rounds,
-    LabelBuffers,
+    cut_and_walk_finish, init_labels, load_list, mask_from_region, relabel_k_rounds, LabelBuffers,
 };
 use crate::matching::Matching;
 use crate::CoinVariant;
@@ -82,7 +81,15 @@ pub fn match1_pram(
     let (label_a, label_b) = buf.front();
 
     // Steps 3–4.
-    let mask = cut_and_walk_finish(&mut m, &lr, list.head() as usize, label_a, label_b, bound, p)?;
+    let mask = cut_and_walk_finish(
+        &mut m,
+        &lr,
+        list.head() as usize,
+        label_a,
+        label_b,
+        bound,
+        p,
+    )?;
 
     let matching = Matching::from_mask(list, mask_from_region(&m, mask));
     Ok(Match1Pram {

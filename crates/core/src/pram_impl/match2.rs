@@ -17,7 +17,7 @@
 //! Total: `O(n/p + S + log p)` steps — Lemma 4's `O(n/p + log n)`.
 
 use super::{
-    init_labels, load_list, mask_from_region, par_for, relabel_k_rounds, scan_exclusive,
+    dense_for, init_labels, load_list, mask_from_region, par_for, relabel_k_rounds, scan_exclusive,
     LabelBuffers, NIL_W,
 };
 use crate::matching::Matching;
@@ -69,26 +69,38 @@ pub fn match2_pram(
 
     // Step 1: partition.
     init_labels(&mut m, &lr, &buf, p)?;
-    let bound = relabel_k_rounds(&mut m, &lr, &mut buf, partition_rounds, n as Word, variant, p)?;
+    let bound = relabel_k_rounds(
+        &mut m,
+        &lr,
+        &mut buf,
+        partition_rounds,
+        n as Word,
+        variant,
+        p,
+    )?;
     let (label_a, _) = buf.front();
     let s_buckets = bound as usize + 1; // extra bucket for the tail node
 
     // Pointer set numbers: set[v] = label[v], tail node in the last
     // bucket (skipped by the sweep).
     let set = m.alloc(n);
-    par_for(&mut m, n, p, move |ctx, v| {
-        let nx = lr.next.get(ctx, v);
-        let s = if nx == NIL_W { bound } else { label_a.get(ctx, v) };
-        set.set(ctx, v, s);
+    dense_for(&mut m, n, p, &[set], move |ctx, v| {
+        let nx = ctx.get(lr.next, v);
+        let s = if nx == NIL_W {
+            bound
+        } else {
+            ctx.get(label_a, v)
+        };
+        ctx.put(0, s);
     })?;
 
     // ---- Step 2: stable counting sort by set number ----
     let sort_start = m.stats().steps;
     let hist_len = (s_buckets * p).next_power_of_two();
     let hist = m.alloc(hist_len); // zeroed on alloc
-    // Per-processor histograms over strided chunks: element e belongs to
-    // processor e mod p; layout set-major (s·p + q) so the exclusive
-    // scan yields per-(set, proc) scatter bases in set order.
+                                  // Per-processor histograms over strided chunks: element e belongs to
+                                  // processor e mod p; layout set-major (s·p + q) so the exclusive
+                                  // scan yields per-(set, proc) scatter bases in set order.
     par_for(&mut m, n, p, move |ctx, e| {
         let q = ctx.pid();
         let s = set.get(ctx, e) as usize;
@@ -183,9 +195,14 @@ mod tests {
     #[test]
     fn step_count_scales_inversely_until_log_n() {
         let list = random_list(1 << 12, 4);
-        let s1 = match2_pram(&list, 1, 2, CoinVariant::Msb, ExecMode::Fast).unwrap().stats.steps;
-        let s64 =
-            match2_pram(&list, 64, 2, CoinVariant::Msb, ExecMode::Fast).unwrap().stats.steps;
+        let s1 = match2_pram(&list, 1, 2, CoinVariant::Msb, ExecMode::Fast)
+            .unwrap()
+            .stats
+            .steps;
+        let s64 = match2_pram(&list, 64, 2, CoinVariant::Msb, ExecMode::Fast)
+            .unwrap()
+            .stats
+            .steps;
         assert!(s1 > 20 * s64, "s1={s1} s64={s64}");
     }
 
@@ -195,7 +212,10 @@ mod tests {
         let out = match2_pram(&list, 32, 2, CoinVariant::Lsb, ExecMode::Checked).unwrap();
         let len = out.matching.len();
         let ptrs = list.pointer_count();
-        assert!(3 * len >= ptrs && 2 * len <= ptrs + 1, "len={len} ptrs={ptrs}");
+        assert!(
+            3 * len >= ptrs && 2 * len <= ptrs + 1,
+            "len={len} ptrs={ptrs}"
+        );
     }
 
     #[test]
@@ -209,8 +229,14 @@ mod tests {
     #[test]
     fn tiny_lists() {
         for n in [0usize, 1] {
-            let out = match2_pram(&sequential_list(n), 4, 2, CoinVariant::Msb, ExecMode::Checked)
-                .unwrap();
+            let out = match2_pram(
+                &sequential_list(n),
+                4,
+                2,
+                CoinVariant::Msb,
+                ExecMode::Checked,
+            )
+            .unwrap();
             assert!(out.matching.is_empty());
         }
     }

@@ -20,7 +20,7 @@
 //! appendix accounts for separately.
 
 use super::{
-    broadcast_copies, cut_and_walk_finish, init_labels, load_list, mask_from_region, par_for,
+    broadcast_copies, cut_and_walk_finish, dense_for, init_labels, load_list, mask_from_region,
     relabel_k_rounds, LabelBuffers,
 };
 use crate::match3::{Match3Config, Match3Error};
@@ -108,8 +108,15 @@ pub fn match3_pram(
 
     // Step 2: crunch.
     init_labels(&mut m, &lr, &buf, p)?;
-    let bound =
-        relabel_k_rounds(&mut m, &lr, &mut buf, config.crunch_rounds, n as Word, config.variant, p)?;
+    let bound = relabel_k_rounds(
+        &mut m,
+        &lr,
+        &mut buf,
+        config.crunch_rounds,
+        n as Word,
+        config.variant,
+        p,
+    )?;
     let w = ilog2_ceil(bound).max(1);
 
     // Pick j as in the native implementation.
@@ -151,26 +158,26 @@ pub fn match3_pram(
     // seed the jump successor arrays from next_cyc (one sweep)
     {
         let (na, nb) = (nx_a, nx_b);
-        par_for(&mut m, n, p, move |ctx, v| {
-            let s = lr.next_cyc.get(ctx, v);
-            na.set(ctx, v, s);
-            nb.set(ctx, v, s);
+        dense_for(&mut m, n, p, &[na, nb], move |ctx, v| {
+            let s = ctx.get(lr.next_cyc, v);
+            ctx.put(0, s);
+            ctx.put(1, s);
         })?;
     }
     let mut width = w;
     for _ in 0..j {
         let (sa, sb, da, db) = (la, lb, la2, lb2);
         let (sna, snb, dna, dnb) = (nx_a, nx_b, nx_a2, nx_b2);
-        par_for(&mut m, n, p, move |ctx, v| {
-            let own = sa.get(ctx, v);
-            let s = sna.get(ctx, v) as usize;
-            let nb = sb.get(ctx, s);
+        dense_for(&mut m, n, p, &[da, db, dna, dnb], move |ctx, v| {
+            let own = ctx.get(sa, v);
+            let s = ctx.get(sna, v) as usize;
+            let nb = ctx.get(sb, s);
             let cat = (own << width) | nb;
-            da.set(ctx, v, cat);
-            db.set(ctx, v, cat);
-            let s2 = snb.get(ctx, s); // second hop via copy b: exclusive
-            dna.set(ctx, v, s2);
-            dnb.set(ctx, v, s2);
+            ctx.put(0, cat);
+            ctx.put(1, cat);
+            let s2 = ctx.get(snb, s); // second hop via copy b: exclusive
+            ctx.put(2, s2);
+            ctx.put(3, s2);
         })?;
         std::mem::swap(&mut la, &mut la2);
         std::mem::swap(&mut lb, &mut lb2);
@@ -181,12 +188,12 @@ pub fn match3_pram(
 
     // Step 4: probe own table copy (processor q owns copy q).
     let (sa, da, db) = (la, la2, lb2);
-    par_for(&mut m, n, p, move |ctx, v| {
+    dense_for(&mut m, n, p, &[da, db], move |ctx, v| {
         let q = ctx.pid();
-        let code = sa.get(ctx, v) as usize;
-        let val = t_copies.get(ctx, q * t_len + code);
-        da.set(ctx, v, val);
-        db.set(ctx, v, val);
+        let code = ctx.get(sa, v) as usize;
+        let val = ctx.get(t_copies, q * t_len + code);
+        ctx.put(0, val);
+        ctx.put(1, val);
     })?;
 
     // Steps 5–6 with the post-lookup constant bound.
@@ -221,8 +228,7 @@ mod tests {
     fn maximal_and_erew_legal() {
         for seed in 0..3 {
             let list = random_list(700, seed);
-            let out =
-                match3_pram(&list, 16, Match3Config::default(), ExecMode::Checked).unwrap();
+            let out = match3_pram(&list, 16, Match3Config::default(), ExecMode::Checked).unwrap();
             verify::assert_maximal_matching(&list, &out.matching);
             assert!(out.table_len > 0);
         }
@@ -247,8 +253,12 @@ mod tests {
         let b = match3_pram(&list, 64, Match3Config::default(), ExecMode::Fast).unwrap();
         // per-processor broadcast work is table_len, so steps are flat-ish
         // in p while total replicated words grow 16×
-        assert!(b.broadcast_steps < 4 * a.broadcast_steps.max(1) + 64,
-            "a={} b={}", a.broadcast_steps, b.broadcast_steps);
+        assert!(
+            b.broadcast_steps < 4 * a.broadcast_steps.max(1) + 64,
+            "a={} b={}",
+            a.broadcast_steps,
+            b.broadcast_steps
+        );
     }
 
     #[test]
@@ -267,18 +277,28 @@ mod tests {
     #[test]
     fn config_errors_propagate() {
         let list = sequential_list(64);
-        let cfg = Match3Config { crunch_rounds: 0, ..Match3Config::default() };
+        let cfg = Match3Config {
+            crunch_rounds: 0,
+            ..Match3Config::default()
+        };
         let err = match3_pram(&list, 4, cfg, ExecMode::Checked).unwrap_err();
-        assert!(matches!(err, Match3PramError::Config(Match3Error::NoCrunch)));
+        assert!(matches!(
+            err,
+            Match3PramError::Config(Match3Error::NoCrunch)
+        ));
         assert!(err.to_string().contains("crunch"));
     }
 
     #[test]
     fn tiny_lists() {
         for n in [0usize, 1] {
-            let out =
-                match3_pram(&sequential_list(n), 4, Match3Config::default(), ExecMode::Checked)
-                    .unwrap();
+            let out = match3_pram(
+                &sequential_list(n),
+                4,
+                Match3Config::default(),
+                ExecMode::Checked,
+            )
+            .unwrap();
             assert!(out.matching.is_empty());
         }
     }

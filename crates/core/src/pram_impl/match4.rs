@@ -17,7 +17,9 @@
 //! *read* neighbor colors concurrently (two pointers may share a
 //! neighbor) while all writes stay exclusive.
 
-use super::{load_list, mask_from_region, par_for, relabel_k_rounds, LabelBuffers, NIL_W};
+use super::{
+    dense_for, load_list, mask_from_region, par_for, relabel_k_rounds, LabelBuffers, NIL_W,
+};
 use crate::matching::Matching;
 use crate::CoinVariant;
 use parmatch_list::LinkedList;
@@ -151,10 +153,14 @@ pub fn match4_on(
 
     // Sort keys: pointer set number; the tail node keys x-1 (pass-through).
     let key = m.alloc(n);
-    par_for(m, n, p, move |ctx, v| {
-        let nx = lr.next.get(ctx, v);
-        let k = if nx == NIL_W { (x - 1) as Word } else { label_a.get(ctx, v) };
-        key.set(ctx, v, k);
+    dense_for(m, n, p, &[key], move |ctx, v| {
+        let nx = ctx.get(lr.next, v);
+        let k = if nx == NIL_W {
+            (x - 1) as Word
+        } else {
+            ctx.get(label_a, v)
+        };
+        ctx.put(0, k);
     })?;
 
     // --- Step 2: per-column sequential counting sort. ---
@@ -224,18 +230,24 @@ pub fn match4_on(
 
     // colors, initialized to UNCOLORED in one sweep
     let color = m.alloc(n);
-    par_for(m, n, p, move |ctx, v| color.set(ctx, v, UNCOLORED_W))?;
+    dense_for(m, n, p, &[color], move |ctx, _v| ctx.put(0, UNCOLORED_W))?;
 
     // shared greedy color pick (reads are CREW)
     let pick = move |ctx: &mut ProcCtx<'_>, v: usize, w: usize, color: Region, pred: Region| {
         let pu = pred.get(ctx, v);
-        let left = if pu == NIL_W { UNCOLORED_W } else { color.get(ctx, pu as usize) };
+        let left = if pu == NIL_W {
+            UNCOLORED_W
+        } else {
+            color.get(ctx, pu as usize)
+        };
         let right = if lr.next.get(ctx, w) == NIL_W {
             UNCOLORED_W
         } else {
             color.get(ctx, w)
         };
-        let c = (0..3 as Word).find(|&c| c != left && c != right).expect("3 colors suffice");
+        let c = (0..3 as Word)
+            .find(|&c| c != left && c != right)
+            .expect("3 colors suffice");
         color.set(ctx, v, c);
     };
 
@@ -353,9 +365,12 @@ mod tests {
     #[test]
     fn matches_for_each_i_and_layout() {
         for i in 1..=4 {
-            for list in [random_list(700, 5), sequential_list(700), reversed_list(700)] {
-                let out =
-                    match4_pram(&list, i, None, CoinVariant::Lsb, ExecMode::Checked).unwrap();
+            for list in [
+                random_list(700, 5),
+                sequential_list(700),
+                reversed_list(700),
+            ] {
+                let out = match4_pram(&list, i, None, CoinVariant::Lsb, ExecMode::Checked).unwrap();
                 verify::assert_maximal_matching(&list, &out.matching);
             }
         }
@@ -365,8 +380,7 @@ mod tests {
     fn rows_override_sweeps_p() {
         let list = random_list(2048, 2);
         for x in [32usize, 64, 256, 2048] {
-            let out =
-                match4_pram(&list, 2, Some(x), CoinVariant::Msb, ExecMode::Checked).unwrap();
+            let out = match4_pram(&list, 2, Some(x), CoinVariant::Msb, ExecMode::Checked).unwrap();
             verify::assert_maximal_matching(&list, &out.matching);
             assert_eq!(out.rows, x);
         }
@@ -382,8 +396,14 @@ mod tests {
     #[test]
     fn tiny_lists() {
         for n in [0usize, 1] {
-            let out = match4_pram(&sequential_list(n), 2, None, CoinVariant::Msb, ExecMode::Checked)
-                .unwrap();
+            let out = match4_pram(
+                &sequential_list(n),
+                2,
+                None,
+                CoinVariant::Msb,
+                ExecMode::Checked,
+            )
+            .unwrap();
             assert!(out.matching.is_empty());
         }
         for n in 2..8 {

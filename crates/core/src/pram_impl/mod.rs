@@ -42,7 +42,7 @@ pub use rank::{rank_pram, RankPram};
 pub use wyllie::{wyllie_pram, WylliePram};
 
 use parmatch_list::{LinkedList, NodeId, NIL};
-use parmatch_pram::{Machine, PramError, ProcCtx, Region, Word};
+use parmatch_pram::{DenseCtx, Machine, PramError, ProcCtx, Region, Word};
 
 /// NIL encoded as a machine word.
 pub const NIL_W: Word = Word::MAX;
@@ -59,6 +59,58 @@ where
     for s in 0..count.div_ceil(p) {
         m.step(p, move |ctx| {
             let e = s * p + ctx.pid();
+            if e < count {
+                fr(ctx, e);
+            }
+        })?;
+    }
+    Ok(())
+}
+
+/// [`par_for`] through the dense fast path: the closure for element `e`
+/// writes element `e` of output array `scopes[k]` via
+/// [`DenseCtx::put`]`(k, val)` (at most once per array) and reads only
+/// cells outside the elements the current substep is writing.
+///
+/// Substep `s` shifts every scope by `s·p`, so put `k` lands on
+/// `scopes[k].addr(e)` — exactly the `scopes[k].set(ctx, e, val)` of the
+/// [`par_for`] twin. The full `p` processors are scheduled every substep
+/// (idle tail pids simply don't put), so steps, work, reads and writes
+/// all match the [`par_for`] version cell for cell.
+///
+/// # Panics
+///
+/// Panics if a scope is shorter than the iteration space.
+pub fn dense_for<F>(
+    m: &mut Machine,
+    count: usize,
+    p: usize,
+    scopes: &[Region],
+    f: F,
+) -> Result<(), PramError>
+where
+    F: Fn(&mut DenseCtx<'_>, usize) + Sync,
+{
+    let p = p.max(1);
+    for (k, r) in scopes.iter().enumerate() {
+        assert!(
+            r.len() >= count,
+            "dense_for: scope {k} (len {}) shorter than the iteration space ({count})",
+            r.len()
+        );
+    }
+    let fr = &f;
+    let mut sub: Vec<Region> = Vec::with_capacity(scopes.len());
+    for s in 0..count.div_ceil(p) {
+        let off = s * p;
+        sub.clear();
+        sub.extend(
+            scopes
+                .iter()
+                .map(|r| Region::new(r.base() + off, count - off)),
+        );
+        m.dense_step(p, &sub, move |ctx| {
+            let e = off + ctx.pid();
             if e < count {
                 fr(ctx, e);
             }
@@ -86,7 +138,10 @@ pub fn load_list(m: &mut Machine, list: &LinkedList) -> ListRegions {
     let next_cyc = m.alloc(n);
     for v in 0..n as NodeId {
         let raw = list.next_raw(v);
-        m.poke(next.addr(v as usize), if raw == NIL { NIL_W } else { Word::from(raw) });
+        m.poke(
+            next.addr(v as usize),
+            if raw == NIL { NIL_W } else { Word::from(raw) },
+        );
         m.poke(next_cyc.addr(v as usize), Word::from(list.next_cyclic(v)));
     }
     ListRegions { next, next_cyc, n }
@@ -117,13 +172,12 @@ pub fn compute_pred(
 /// region whose length must be a power of two, using `p` processors:
 /// `O(len/p + log len)` steps, EREW-legal. The region's total is
 /// returned (read host-side after the upsweep).
-pub fn scan_exclusive(
-    m: &mut Machine,
-    data: Region,
-    p: usize,
-) -> Result<Word, PramError> {
+pub fn scan_exclusive(m: &mut Machine, data: Region, p: usize) -> Result<Word, PramError> {
     let len = data.len();
-    assert!(len.is_power_of_two(), "scan length must be a power of two (got {len})");
+    assert!(
+        len.is_power_of_two(),
+        "scan length must be a power of two (got {len})"
+    );
     if len == 1 {
         let total = m.peek(data.addr(0));
         m.poke(data.addr(0), 0);
@@ -196,34 +250,34 @@ pub fn cut_and_walk_finish(
     let mn_a = m.alloc(n);
     let mn_b = m.alloc(n);
 
-    par_for(m, n, p, move |ctx, v| {
-        let l = label_a.get(ctx, v);
-        label_c.set(ctx, v, l);
+    dense_for(m, n, p, &[label_c], move |ctx, v| {
+        let l = ctx.get(label_a, v);
+        ctx.put(0, l);
     })?;
     compute_pred(m, lr, pred, p)?;
 
     // Step 3: cut at strict local minima.
-    par_for(m, n, p, move |ctx, v| {
-        let nx = lr.next.get(ctx, v);
+    dense_for(m, n, p, &[cut], move |ctx, v| {
+        let nx = ctx.get(lr.next, v);
         if nx == NIL_W {
-            cut.set(ctx, v, 0);
+            ctx.put(0, 0);
             return;
         }
-        let lv = label_a.get(ctx, v);
-        let pu = pred.get(ctx, v);
-        let left_higher = pu == NIL_W || label_c.get(ctx, pu as usize) > lv;
-        let right_higher = label_b.get(ctx, nx as usize) > lv;
-        cut.set(ctx, v, u64::from(left_higher && right_higher));
+        let lv = ctx.get(label_a, v);
+        let pu = ctx.get(pred, v);
+        let left_higher = pu == NIL_W || ctx.get(label_c, pu as usize) > lv;
+        let right_higher = ctx.get(label_b, nx as usize) > lv;
+        ctx.put(0, u64::from(left_higher && right_higher));
     })?;
 
     // Step 4 init: walkers start at sublist heads.
-    par_for(m, n, p, move |ctx, v| {
-        let pu = pred.get(ctx, v);
-        let is_head = v == list_head || (pu != NIL_W && cut.get(ctx, pu as usize) != 0);
-        active.set(ctx, v, u64::from(is_head));
-        cur.set(ctx, v, v as Word);
-        parity.set(ctx, v, 0);
-        mask.set(ctx, v, 0);
+    dense_for(m, n, p, &[active, cur, parity, mask], move |ctx, v| {
+        let pu = ctx.get(pred, v);
+        let is_head = v == list_head || (pu != NIL_W && ctx.get(cut, pu as usize) != 0);
+        ctx.put(0, u64::from(is_head));
+        ctx.put(1, v as Word);
+        ctx.put(2, 0);
+        ctx.put(3, 0);
     })?;
 
     // Step 4: walk, one node-advance per sweep, ≤ 2·bound sweeps.
@@ -252,28 +306,28 @@ pub fn cut_and_walk_finish(
     }
 
     // Fix-up sweeps (see match1 for the rationale of the copies).
-    par_for(m, n, p, move |ctx, v| {
-        let mv = mask.get(ctx, v);
-        mask_b.set(ctx, v, mv);
+    dense_for(m, n, p, &[mask_b], move |ctx, v| {
+        let mv = ctx.get(mask, v);
+        ctx.put(0, mv);
     })?;
-    par_for(m, n, p, move |ctx, v| {
-        let own = mask.get(ctx, v) != 0;
-        let pu = pred.get(ctx, v);
-        let from_pred = pu != NIL_W && mask_b.get(ctx, pu as usize) != 0;
+    dense_for(m, n, p, &[mn_a, mn_b], move |ctx, v| {
+        let own = ctx.get(mask, v) != 0;
+        let pu = ctx.get(pred, v);
+        let from_pred = pu != NIL_W && ctx.get(mask_b, pu as usize) != 0;
         let bit = u64::from(own || from_pred);
-        mn_a.set(ctx, v, bit);
-        mn_b.set(ctx, v, bit);
+        ctx.put(0, bit);
+        ctx.put(1, bit);
     })?;
-    par_for(m, n, p, move |ctx, v| {
-        if cut.get(ctx, v) == 0 {
+    dense_for(m, n, p, &[mask], move |ctx, v| {
+        if ctx.get(cut, v) == 0 {
             return;
         }
-        let nx = lr.next.get(ctx, v);
+        let nx = ctx.get(lr.next, v);
         if nx == NIL_W {
             return;
         }
-        if mn_a.get(ctx, v) == 0 && mn_b.get(ctx, nx as usize) == 0 {
-            mask.set(ctx, v, 1);
+        if ctx.get(mn_a, v) == 0 && ctx.get(mn_b, nx as usize) == 0 {
+            ctx.put(0, 1);
         }
     })?;
     Ok(mask)
@@ -300,7 +354,10 @@ impl LabelBuffers {
         let b = m.alloc(n);
         let a2 = m.alloc(n);
         let b2 = m.alloc(n);
-        Self { bufs: [(a, b), (a2, b2)], front: 0 }
+        Self {
+            bufs: [(a, b), (a2, b2)],
+            front: 0,
+        }
     }
 
     /// The pair currently holding the labels.
@@ -327,9 +384,9 @@ pub fn init_labels(
     p: usize,
 ) -> Result<(), PramError> {
     let (a, b) = buf.front();
-    par_for(m, lr.n, p, move |ctx, v| {
-        a.set(ctx, v, v as Word);
-        b.set(ctx, v, v as Word);
+    dense_for(m, lr.n, p, &[a, b], move |ctx, v| {
+        ctx.put(0, v as Word);
+        ctx.put(1, v as Word);
     })
 }
 
@@ -352,13 +409,13 @@ pub fn relabel_k_rounds(
         let width = ilog2_ceil(bound).max(1);
         let (src_a, src_b) = buf.front();
         let (dst_a, dst_b) = buf.back();
-        par_for(m, lr.n, p, move |ctx, v| {
-            let own = src_a.get(ctx, v);
-            let suc = lr.next_cyc.get(ctx, v) as usize;
-            let nb = src_b.get(ctx, suc);
+        dense_for(m, lr.n, p, &[dst_a, dst_b], move |ctx, v| {
+            let own = ctx.get(src_a, v);
+            let suc = ctx.get(lr.next_cyc, v) as usize;
+            let nb = ctx.get(src_b, suc);
             let new = crate::labels::f_ext(own, nb, width, variant);
-            dst_a.set(ctx, v, new);
-            dst_b.set(ctx, v, new);
+            ctx.put(0, new);
+            ctx.put(1, new);
         })?;
         buf.swap();
         bound = 2 * Word::from(width) + 1;

@@ -23,7 +23,7 @@
 //! introduction positions itself in.
 
 use super::match4::match4_on;
-use super::{par_for, scan_exclusive, ListRegions, NIL_W};
+use super::{dense_for, par_for, scan_exclusive, ListRegions, NIL_W};
 use crate::CoinVariant;
 use parmatch_list::{LinkedList, NodeId, NIL};
 use parmatch_pram::{ExecMode, Machine, Model, PramError, Region, Stats, Word};
@@ -55,14 +55,15 @@ const BASE: usize = 16;
 /// Rank every node by on-machine matching contraction with a pointer
 /// jumping finisher (accelerated cascade), using Match4 with partition
 /// parameter `i` at every level.
-pub fn rank_pram(
-    list: &LinkedList,
-    i: u32,
-    mode: ExecMode,
-) -> Result<RankPram, PramError> {
+pub fn rank_pram(list: &LinkedList, i: u32, mode: ExecMode) -> Result<RankPram, PramError> {
     let n = list.len();
     if n == 0 {
-        return Ok(RankPram { ranks: Vec::new(), stats: Stats::default(), levels: 0, switch_size: 0 });
+        return Ok(RankPram {
+            ranks: Vec::new(),
+            stats: Stats::default(),
+            levels: 0,
+            switch_size: 0,
+        });
     }
     let mut m = match mode {
         ExecMode::Checked => Machine::new(Model::Crew, 0),
@@ -76,9 +77,9 @@ pub fn rank_pram(
     {
         let (w, lrl) = (weights, lr);
         // weight 1 per real pointer; the tail's entry is unused
-        par_for(&mut m, n, n, move |ctx, v| {
-            let nx = lrl.next.get(ctx, v);
-            w.set(ctx, v, u64::from(nx != NIL_W));
+        dense_for(&mut m, n, n, &[w], move |ctx, v| {
+            let nx = ctx.get(lrl.next, v);
+            ctx.put(0, u64::from(nx != NIL_W));
         })?;
     }
 
@@ -99,9 +100,9 @@ pub fn rank_pram(
         let flags = m.alloc(pad); // zero padding beyond nl
         {
             let (fl, mk) = (flags, mask);
-            par_for(&mut m, nl, p, move |ctx, v| {
-                let rm = mk.get(ctx, v);
-                fl.set(ctx, v, 1 - rm);
+            dense_for(&mut m, nl, p, &[fl], move |ctx, v| {
+                let rm = ctx.get(mk, v);
+                ctx.put(0, 1 - rm);
             })?;
         }
         let kept_total = scan_exclusive(&mut m, flags, p)? as usize;
@@ -151,8 +152,17 @@ pub fn rank_pram(
             })?;
         }
 
-        frames.push(Frame { lr, weights, mask, newid });
-        lr = ListRegions { next: next2, next_cyc: next_cyc2, n: n2 };
+        frames.push(Frame {
+            lr,
+            weights,
+            mask,
+            newid,
+        });
+        lr = ListRegions {
+            next: next2,
+            next_cyc: next_cyc2,
+            n: n2,
+        };
         weights = weights2;
         head = head2;
     }
@@ -167,28 +177,32 @@ pub fn rank_pram(
         let dist = m.alloc(nl);
         let dist2 = m.alloc(nl);
         let (lrl, w) = (lr, weights);
-        par_for(&mut m, nl, nl, move |ctx, v| {
-            let x = lrl.next.get(ctx, v);
+        dense_for(&mut m, nl, nl, &[nxt, dist], move |ctx, v| {
+            let x = ctx.get(lrl.next, v);
             if x == NIL_W {
-                nxt.set(ctx, v, v as Word);
-                dist.set(ctx, v, 0);
+                ctx.put(0, v as Word);
+                ctx.put(1, 0);
             } else {
-                nxt.set(ctx, v, x);
-                let wv = w.get(ctx, v);
-                dist.set(ctx, v, wv);
+                ctx.put(0, x);
+                let wv = ctx.get(w, v);
+                ctx.put(1, wv);
             }
         })?;
-        let rounds = if nl <= 1 { 0 } else { usize::BITS - (nl - 1).leading_zeros() };
+        let rounds = if nl <= 1 {
+            0
+        } else {
+            usize::BITS - (nl - 1).leading_zeros()
+        };
         let (mut cur, mut alt) = ((nxt, dist), (nxt2, dist2));
         for _ in 0..rounds {
             let ((sn, sd), (dn, dd)) = (cur, alt);
-            par_for(&mut m, nl, nl, move |ctx, v| {
-                let t = sn.get(ctx, v) as usize;
-                let d = sd.get(ctx, v);
-                let dt = sd.get(ctx, t);
-                let tt = sn.get(ctx, t);
-                dd.set(ctx, v, d + dt);
-                dn.set(ctx, v, tt);
+            dense_for(&mut m, nl, nl, &[dn, dd], move |ctx, v| {
+                let t = ctx.get(sn, v) as usize;
+                let d = ctx.get(sd, v);
+                let dt = ctx.get(sd, t);
+                let tt = ctx.get(sn, t);
+                ctx.put(1, d + dt);
+                ctx.put(0, tt);
             })?;
             std::mem::swap(&mut cur, &mut alt);
         }
@@ -203,11 +217,11 @@ pub fn rank_pram(
         let p = nl.div_ceil(16).max(1);
         {
             let (mk, nid, rl, rn) = (frame.mask, frame.newid, ranks_level, ranks_next);
-            par_for(&mut m, nl, p, move |ctx, v| {
-                if mk.get(ctx, v) == 0 {
-                    let me = nid.get(ctx, v) as usize;
-                    let r = rn.get(ctx, me);
-                    rl.set(ctx, v, r);
+            dense_for(&mut m, nl, p, &[rl], move |ctx, v| {
+                if ctx.get(mk, v) == 0 {
+                    let me = ctx.get(nid, v) as usize;
+                    let r = ctx.get(rn, me);
+                    ctx.put(0, r);
                 }
             })?;
         }
@@ -226,7 +240,12 @@ pub fn rank_pram(
     }
 
     let ranks = m.region_slice(ranks_next).to_vec();
-    Ok(RankPram { ranks, stats: *m.stats(), levels, switch_size })
+    Ok(RankPram {
+        ranks,
+        stats: *m.stats(),
+        levels,
+        switch_size,
+    })
 }
 
 /// Quick consistency helper mirroring the native checker (host-side).
@@ -260,7 +279,11 @@ mod tests {
         let out = rank_pram(&list, 2, ExecMode::Fast).unwrap();
         assert_eq!(out.ranks, list.ranks_seq());
         assert!(out.levels >= 2, "levels {}", out.levels);
-        assert!(out.switch_size <= n / 12 + BASE, "switch {}", out.switch_size);
+        assert!(
+            out.switch_size <= n / 12 + BASE,
+            "switch {}",
+            out.switch_size
+        );
     }
 
     #[test]
@@ -276,7 +299,11 @@ mod tests {
     #[test]
     fn structured_and_tiny() {
         for n in [0usize, 1, 2, 3, 15, 16, 17, 100] {
-            let list = if n > 2 { random_list(n, n as u64) } else { sequential_list(n) };
+            let list = if n > 2 {
+                random_list(n, n as u64)
+            } else {
+                sequential_list(n)
+            };
             let out = rank_pram(&list, 1, ExecMode::Checked).unwrap();
             assert_eq!(out.ranks, list.ranks_seq(), "n={n}");
         }

@@ -6,7 +6,7 @@
 //! `Θ(n log n)` work. Runs on CREW: once chains collapse many nodes
 //! read the tail's cells simultaneously.
 
-use super::{load_list, par_for, NIL_W};
+use super::{dense_for, load_list, NIL_W};
 use parmatch_list::LinkedList;
 use parmatch_pram::{ExecMode, Machine, Model, PramError, Stats, Word};
 
@@ -26,7 +26,11 @@ pub struct WylliePram {
 pub fn wyllie_pram(list: &LinkedList, p: usize, mode: ExecMode) -> Result<WylliePram, PramError> {
     let n = list.len();
     if n == 0 {
-        return Ok(WylliePram { ranks: Vec::new(), stats: Stats::default(), rounds: 0 });
+        return Ok(WylliePram {
+            ranks: Vec::new(),
+            stats: Stats::default(),
+            rounds: 0,
+        });
     }
     let mut m = match mode {
         ExecMode::Checked => Machine::new(Model::Crew, 0),
@@ -40,34 +44,42 @@ pub fn wyllie_pram(list: &LinkedList, p: usize, mode: ExecMode) -> Result<Wyllie
     let dist2 = m.alloc(n);
 
     // init sweep: tail self-loops with distance 0
-    par_for(&mut m, n, p, move |ctx, v| {
-        let w = lr.next.get(ctx, v);
+    dense_for(&mut m, n, p, &[nxt, dist], move |ctx, v| {
+        let w = ctx.get(lr.next, v);
         if w == NIL_W {
-            nxt.set(ctx, v, v as Word);
-            dist.set(ctx, v, 0);
+            ctx.put(0, v as Word);
+            ctx.put(1, 0);
         } else {
-            nxt.set(ctx, v, w);
-            dist.set(ctx, v, 1);
+            ctx.put(0, w);
+            ctx.put(1, 1);
         }
     })?;
 
-    let rounds = if n <= 1 { 0 } else { usize::BITS - (n - 1).leading_zeros() };
+    let rounds = if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    };
     let (mut cur, mut alt) = ((nxt, dist), (nxt2, dist2));
     for _ in 0..rounds {
         let ((sn, sd), (dn, dd)) = (cur, alt);
-        par_for(&mut m, n, p, move |ctx, v| {
-            let w = sn.get(ctx, v) as usize;
-            let d = sd.get(ctx, v);
-            let dw = sd.get(ctx, w);
-            let ww = sn.get(ctx, w);
-            dd.set(ctx, v, d + dw);
-            dn.set(ctx, v, ww);
+        dense_for(&mut m, n, p, &[dn, dd], move |ctx, v| {
+            let w = ctx.get(sn, v) as usize;
+            let d = ctx.get(sd, v);
+            let dw = ctx.get(sd, w);
+            let ww = ctx.get(sn, w);
+            ctx.put(1, d + dw);
+            ctx.put(0, ww);
         })?;
         std::mem::swap(&mut cur, &mut alt);
     }
 
     let ranks = m.region_slice(cur.1).to_vec();
-    Ok(WylliePram { ranks, stats: *m.stats(), rounds })
+    Ok(WylliePram {
+        ranks,
+        stats: *m.stats(),
+        rounds,
+    })
 }
 
 #[cfg(test)]
@@ -113,14 +125,9 @@ mod tests {
             let n = 1usize << e;
             let list = random_list(n, 8);
             let wy = wyllie_pram(&list, 64, ExecMode::Fast).unwrap();
-            let m4 = super::super::match4_pram(
-                &list,
-                2,
-                None,
-                crate::CoinVariant::Msb,
-                ExecMode::Fast,
-            )
-            .unwrap();
+            let m4 =
+                super::super::match4_pram(&list, 2, None, crate::CoinVariant::Msb, ExecMode::Fast)
+                    .unwrap();
             (
                 wy.stats.work as f64 / n as f64,
                 m4.stats.work as f64 / n as f64,
@@ -128,7 +135,10 @@ mod tests {
         };
         let (wy_small, m4_small) = per_node(10);
         let (wy_big, m4_big) = per_node(14);
-        assert!(wy_big > wy_small + 3.0, "wyllie/n flat? {wy_small} → {wy_big}");
+        assert!(
+            wy_big > wy_small + 3.0,
+            "wyllie/n flat? {wy_small} → {wy_big}"
+        );
         assert!(
             (m4_big - m4_small).abs() < 3.0,
             "match4/n not flat? {m4_small} → {m4_big}"
@@ -137,7 +147,10 @@ mod tests {
 
     #[test]
     fn tiny() {
-        assert!(wyllie_pram(&sequential_list(0), 4, ExecMode::Checked).unwrap().ranks.is_empty());
+        assert!(wyllie_pram(&sequential_list(0), 4, ExecMode::Checked)
+            .unwrap()
+            .ranks
+            .is_empty());
         let out = wyllie_pram(&sequential_list(1), 4, ExecMode::Checked).unwrap();
         assert_eq!(out.ranks, vec![0]);
         assert_eq!(out.rounds, 0);

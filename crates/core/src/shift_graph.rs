@@ -170,7 +170,9 @@ pub fn greedy_shift_coloring(n: usize) -> usize {
                     }
                 }
             }
-            let chosen = (0..).find(|&k| k >= forbidden.len() || !forbidden[k]).unwrap();
+            let chosen = (0..)
+                .find(|&k| k >= forbidden.len() || !forbidden[k])
+                .unwrap();
             color[pair_id(a, b, n)] = chosen;
             used = used.max(chosen + 1);
         }
@@ -248,7 +250,11 @@ mod tests {
             let log_n = ilog2_ceil(n as u64) as usize;
             for variant in [CoinVariant::Msb, CoinVariant::Lsb] {
                 let sets = f_set_count(n, variant);
-                assert!(sets <= 2 * log_n, "n={n} {variant:?}: {sets} > {}", 2 * log_n);
+                assert!(
+                    sets <= 2 * log_n,
+                    "n={n} {variant:?}: {sets} > {}",
+                    2 * log_n
+                );
                 // and it is tight: exactly 2·log n for powers of two
                 assert_eq!(sets, 2 * log_n, "n={n} {variant:?}");
             }
@@ -332,7 +338,10 @@ mod tests {
     #[test]
     fn greedy_never_beats_exact() {
         for n in 2..=5 {
-            assert!(greedy_shift_coloring(n) >= exact_shift_chromatic(n), "n={n}");
+            assert!(
+                greedy_shift_coloring(n) >= exact_shift_chromatic(n),
+                "n={n}"
+            );
         }
     }
 

@@ -130,7 +130,13 @@ impl TupleTable {
             *slot = v as u16;
             value_bound = value_bound.max(v + 1);
         }
-        Ok(Self { table, entry_bits, args, variant, value_bound })
+        Ok(Self {
+            table,
+            entry_bits,
+            args,
+            variant,
+            value_bound,
+        })
     }
 
     /// Probe the table with an encoded window (step 4 of Match3:
@@ -259,7 +265,9 @@ mod tests {
             let mut args = [0u64; 5];
             let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
             for a in args.iter_mut() {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 *a = (s >> 33) & 0xF;
             }
             // force adjacent-distinct
@@ -309,7 +317,10 @@ mod tests {
     fn size_guard() {
         assert_eq!(
             TupleTable::build(8, 4, CoinVariant::Msb, 20).unwrap_err(),
-            TableError::TooLarge { bits: 32, max_bits: 20 }
+            TableError::TooLarge {
+                bits: 32,
+                max_bits: 20
+            }
         );
         assert_eq!(
             TupleTable::build(0, 4, CoinVariant::Msb, 20).unwrap_err(),
@@ -323,7 +334,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = TableError::TooLarge { bits: 32, max_bits: 20 };
+        let e = TableError::TooLarge {
+            bits: 32,
+            max_bits: 20,
+        };
         assert!(e.to_string().contains("2^32"));
         assert!(TableError::Degenerate.to_string().contains("width"));
     }

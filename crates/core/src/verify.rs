@@ -127,8 +127,8 @@ mod tests {
     #[test]
     fn gap_of_two_breaks_maximality() {
         let l = chain(6); // pointers at tails 0..4
-        // match only <0,1>: pointers <2,3>,<3,4>,<4,5> — <3,4> has no
-        // matched neighbor
+                          // match only <0,1>: pointers <2,3>,<3,4>,<4,5> — <3,4> has no
+                          // matched neighbor
         let m = Matching::from_mask(&l, vec![true, false, false, false, false, false]);
         assert!(is_matching(&l, &m));
         assert!(!is_maximal(&l, &m));

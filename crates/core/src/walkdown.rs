@@ -114,7 +114,13 @@ impl Grid {
                 row_of[v as usize] = r as u32;
             }
         }
-        Self { x, cols, col_elems, keys, row_of }
+        Self {
+            x,
+            cols,
+            col_elems,
+            keys,
+            row_of,
+        }
     }
 
     /// Rows per column (`x`).
@@ -345,10 +351,7 @@ mod tests {
             let list = random_list(5000, seed);
             let g = grid_for(&list, 2);
             let (colors, rounds) = color_pointers(&list, &g);
-            assert!(
-                verify::coloring_is_proper(&list, &colors, 3),
-                "seed {seed}"
-            );
+            assert!(verify::coloring_is_proper(&list, &colors, 3), "seed {seed}");
             assert_eq!(rounds, g.rows() + 2 * g.rows() - 1);
         }
     }

@@ -122,7 +122,10 @@ mod tests {
         ));
         // a pure cycle: 0 -> 1 -> 2 -> 0, head 0 (head has pred 2)
         let l2 = LinkedList::from_parts(vec![1, 2, 0], 0);
-        assert_eq!(validate(&l2), Err(ListError::HeadHasPredecessor { pred: 2 }));
+        assert_eq!(
+            validate(&l2),
+            Err(ListError::HeadHasPredecessor { pred: 2 })
+        );
     }
 
     #[test]
@@ -132,7 +135,10 @@ mod tests {
         let l = LinkedList::from_parts(vec![NIL, NIL], 0);
         assert_eq!(
             validate(&l),
-            Err(ListError::Unreachable { reached: 1, total: 2 })
+            Err(ListError::Unreachable {
+                reached: 1,
+                total: 2
+            })
         );
     }
 
@@ -141,7 +147,11 @@ mod tests {
         let msgs = [
             ListError::SharedSuccessor { target: 3 }.to_string(),
             ListError::Cycle { node: 1 }.to_string(),
-            ListError::Unreachable { reached: 1, total: 5 }.to_string(),
+            ListError::Unreachable {
+                reached: 1,
+                total: 5,
+            }
+            .to_string(),
             ListError::HeadHasPredecessor { pred: 2 }.to_string(),
         ];
         assert!(msgs[0].contains("successor 3"));

@@ -59,7 +59,9 @@ pub fn sublist_heads(list: &LinkedList, cut: &[bool]) -> Vec<NodeId> {
 
 /// Cut the list with `cut` and return the sublist decomposition.
 pub fn cut_at(list: &LinkedList, cut: &[bool]) -> Sublists {
-    Sublists { heads: sublist_heads(list, cut) }
+    Sublists {
+        heads: sublist_heads(list, cut),
+    }
 }
 
 /// Walk every sublist in parallel, invoking `f(tail, head, offset)` for
@@ -181,10 +183,7 @@ mod tests {
         walk_sublists(&l, &cut, |a, b, off| seen.push((a, b, off)));
         let mut got = seen.into_vec();
         got.sort();
-        assert_eq!(
-            got,
-            vec![(0, 1, 0), (1, 2, 1), (3, 4, 0)]
-        );
+        assert_eq!(got, vec![(0, 1, 0), (1, 2, 1), (3, 4, 0)]);
     }
 
     #[test]

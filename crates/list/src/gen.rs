@@ -95,7 +95,10 @@ pub fn bit_reversal_list(n: usize) -> LinkedList {
     if n == 0 {
         return LinkedList::from_order(&[]);
     }
-    assert!(n.is_power_of_two(), "bit-reversal layout needs a power-of-two n (got {n})");
+    assert!(
+        n.is_power_of_two(),
+        "bit-reversal layout needs a power-of-two n (got {n})"
+    );
     let k = n.trailing_zeros();
     let order: Vec<NodeId> = (0..n as u32)
         .map(|i| {
@@ -140,7 +143,9 @@ mod tests {
         assert!(s.pointers().all(|p| p.is_forward() && p.head == p.tail + 1));
         let r = reversed_list(10);
         validate(&r).unwrap();
-        assert!(r.pointers().all(|p| !p.is_forward() && p.tail == p.head + 1));
+        assert!(r
+            .pointers()
+            .all(|p| !p.is_forward() && p.tail == p.head + 1));
     }
 
     #[test]
@@ -198,9 +203,7 @@ mod tests {
 
     #[test]
     fn degenerate_sizes() {
-        for f in [
-            random_list as fn(usize, u64) -> LinkedList,
-        ] {
+        for f in [random_list as fn(usize, u64) -> LinkedList] {
             for n in [0usize, 1, 2] {
                 validate(&f(n, 0)).unwrap();
             }

@@ -118,7 +118,10 @@ pub fn from_text(text: &str) -> Result<LinkedList, ParseError> {
         }
     }
     if next.len() != n {
-        return Err(ParseError::WrongCount { found: next.len(), expected: n });
+        return Err(ParseError::WrongCount {
+            found: next.len(),
+            expected: n,
+        });
     }
     if next.iter().any(|&v| v != NIL && v as usize >= n) || (head as usize) >= n {
         return Err(ParseError::Invalid("index out of range".into()));
@@ -162,7 +165,10 @@ mod tests {
         ));
         assert!(matches!(
             from_text("parmatch-list v1\nn=3 head=0\n1\n-\n"),
-            Err(ParseError::WrongCount { found: 2, expected: 3 })
+            Err(ParseError::WrongCount {
+                found: 2,
+                expected: 3
+            })
         ));
         // structurally broken: two nodes share a successor
         assert!(matches!(
@@ -179,8 +185,11 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(ParseError::BadMagic.to_string().contains("header"));
-        assert!(ParseError::WrongCount { found: 1, expected: 2 }
-            .to_string()
-            .contains("1 entries"));
+        assert!(ParseError::WrongCount {
+            found: 1,
+            expected: 2
+        }
+        .to_string()
+        .contains("1 entries"));
     }
 }

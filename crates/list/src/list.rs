@@ -91,7 +91,10 @@ impl LinkedList {
     pub fn from_order(order: &[NodeId]) -> Self {
         let n = order.len();
         if n == 0 {
-            return Self { next: Vec::new(), head: NIL };
+            return Self {
+                next: Vec::new(),
+                head: NIL,
+            };
         }
         let mut next = vec![NIL; n];
         let mut seen = vec![false; n];
@@ -104,7 +107,10 @@ impl LinkedList {
         for w in order.windows(2) {
             next[w[0] as usize] = w[1];
         }
-        Self { next, head: order[0] }
+        Self {
+            next,
+            head: order[0],
+        }
     }
 
     /// Number of nodes `n`.
@@ -216,18 +222,22 @@ impl LinkedList {
     /// Iterator over the `n-1` real pointers `<a, b>` of the list, in
     /// array order of the tail `a`.
     pub fn pointers(&self) -> impl Iterator<Item = Pointer> + '_ {
-        self.next
-            .iter()
-            .enumerate()
-            .filter_map(|(a, &b)| (b != NIL).then_some(Pointer { tail: a as NodeId, head: b }))
+        self.next.iter().enumerate().filter_map(|(a, &b)| {
+            (b != NIL).then_some(Pointer {
+                tail: a as NodeId,
+                head: b,
+            })
+        })
     }
 
     /// Parallel iterator over the real pointers.
     pub fn par_pointers(&self) -> impl ParallelIterator<Item = Pointer> + '_ {
-        self.next
-            .par_iter()
-            .enumerate()
-            .filter_map(|(a, &b)| (b != NIL).then_some(Pointer { tail: a as NodeId, head: b }))
+        self.next.par_iter().enumerate().filter_map(|(a, &b)| {
+            (b != NIL).then_some(Pointer {
+                tail: a as NodeId,
+                head: b,
+            })
+        })
     }
 
     /// Number of pointers (`n-1` for non-empty lists, 0 otherwise).

@@ -1,0 +1,812 @@
+//! `dense_step`: a structurally-checked fast path for regular steps.
+//!
+//! Most steps in the paper's algorithms have the same shape: processor
+//! `pid` writes exactly one statically-known cell per output array —
+//! `region.addr(pid)` — and reads a handful of cells that are *not*
+//! being written this step. [`Machine::dense_step`] exploits that
+//! shape. The caller declares the output **scopes** up front (one
+//! [`Region`] per written array; processor `pid` may write only
+//! `scopes[k].addr(pid)`, via [`DenseCtx::put`]). Legality is then
+//! structural:
+//!
+//! - Write exclusivity holds by construction — distinct pids target
+//!   distinct cells of a scope, and scope windows must be disjoint — so
+//!   no write log, sort, or stamp pass is needed in *either* mode.
+//! - Reads must avoid all write windows (`[base, base + p)` of every
+//!   scope). This makes "reads see the pre-step image" hold even when
+//!   writes are applied in place.
+//!
+//! In [`ExecMode::Checked`] the engine still logs reads (for
+//! [`Stats::reads`](crate::Stats::reads) and EREW exclusivity), checks
+//! every read against the windows, rejects double puts, and buffers
+//! writes so a failed step stays atomic. In [`ExecMode::Fast`] writes
+//! go **directly into memory** — the window of each scope is carved
+//! out of the memory `Vec` with `split_at_mut`, each execution chunk
+//! gets its own disjoint sub-window (as `&[Cell<Word>]`, so no second
+//! level of `&mut` is needed), and reads resolve against the shared
+//! gap slices. A fast-mode contract violation is still *detected*
+//! (reads classify their address anyway) and reported as
+//! [`PramError::DenseViolation`], but — unlike every other error path —
+//! a faulted fast dense step may leave a prefix of its writes applied.
+//!
+//! Step, work, read and write accounting are identical to
+//! [`Machine::step`] for contract-abiding programs, so swapping a step
+//! for a dense step never changes an experiment's counters.
+
+use crate::error::PramError;
+use crate::machine::{ChunkScratch, DenseCtxInner, ExecMode, Machine};
+use crate::region::Region;
+use crate::Word;
+use std::cell::Cell;
+
+/// Per-processor view of one dense step. Obtained only inside
+/// [`Machine::dense_step`].
+pub struct DenseCtx<'a> {
+    pub(crate) pid: usize,
+    pub(crate) chunk_lo: usize,
+    pub(crate) mem_size: usize,
+    pub(crate) step: u64,
+    pub(crate) nscopes: usize,
+    pub(crate) put_mask: u64,
+    pub(crate) faulted: bool,
+    pub(crate) fault_slot: &'a mut Option<PramError>,
+    pub(crate) inner: DenseCtxInner<'a>,
+}
+
+impl<'a> DenseCtx<'a> {
+    /// This virtual processor's id, `0 ≤ pid < p`.
+    #[inline]
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// Memory size in words (host constant, free to consult).
+    #[inline]
+    pub fn mem_size(&self) -> usize {
+        self.mem_size
+    }
+
+    #[inline]
+    fn fault(&mut self, err: PramError) {
+        self.faulted = true;
+        if self.fault_slot.is_none() {
+            *self.fault_slot = Some(err);
+        }
+    }
+
+    /// Read cell `addr` as of the start of the step.
+    ///
+    /// Reading inside any scope's write window is a contract violation
+    /// ([`PramError::DenseViolation`]); out-of-bounds addresses fault as
+    /// in [`crate::ProcCtx::read`]. Either fault makes the rest of this
+    /// processor's closure read 0 and write nothing.
+    #[inline]
+    pub fn read(&mut self, addr: usize) -> Word {
+        if self.faulted {
+            return 0;
+        }
+        if addr >= self.mem_size {
+            let (size, pid) = (self.mem_size, self.pid);
+            self.fault(PramError::OutOfBounds { addr, size, pid });
+            return 0;
+        }
+        match &mut self.inner {
+            DenseCtxInner::Checked {
+                mem,
+                windows,
+                count_reads,
+                log_read_addrs,
+                reads,
+                read_count,
+                ..
+            } => {
+                if in_windows(windows, addr) {
+                    let (pid, step) = (self.pid, self.step);
+                    self.fault(PramError::DenseViolation { addr, pid, step });
+                    return 0;
+                }
+                if *count_reads {
+                    **read_count += 1;
+                    if *log_read_addrs {
+                        reads.push((addr, self.pid as u32));
+                    }
+                }
+                mem[addr]
+            }
+            DenseCtxInner::Fast { gaps, windows, .. } => {
+                if in_windows(windows, addr) {
+                    let (pid, step) = (self.pid, self.step);
+                    self.fault(PramError::DenseViolation { addr, pid, step });
+                    return 0;
+                }
+                // Not in a window and in bounds ⇒ in exactly one gap.
+                let gi = gaps.partition_point(|&(start, _)| start <= addr) - 1;
+                let (start, slice) = gaps[gi];
+                slice[addr - start]
+            }
+        }
+    }
+
+    /// Read `r.addr(i)` — convenience mirroring [`Region::get`].
+    #[inline]
+    pub fn get(&mut self, r: Region, i: usize) -> Word {
+        self.read(r.addr(i))
+    }
+
+    /// Write `val` to this processor's cell of scope `k` — that is, to
+    /// `scopes[k].addr(pid)` — applied at the step barrier (checked
+    /// mode) or immediately (fast mode; legal because no processor may
+    /// read any window). At most one put per scope per step; a second
+    /// put to the same scope is a [`PramError::DenseViolation`] in
+    /// checked mode (fast mode lets the last value win).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a valid scope index or `pid()` is outside
+    /// scope `k`'s window (a processor beyond the scope's length must
+    /// not put — host bug, like [`Region::addr`] overruns).
+    #[inline]
+    pub fn put(&mut self, k: usize, val: Word) {
+        assert!(
+            k < self.nscopes,
+            "dense_step: put to scope {k} of {}",
+            self.nscopes
+        );
+        if self.faulted {
+            return;
+        }
+        match &mut self.inner {
+            DenseCtxInner::Checked {
+                scope_wins, puts, ..
+            } => {
+                let (base, wlen) = scope_wins[k];
+                assert!(
+                    self.pid < wlen,
+                    "dense_step: put to scope {k} from pid {} beyond its window (len {wlen})",
+                    self.pid
+                );
+                if self.put_mask & (1 << k) != 0 {
+                    let (addr, pid, step) = (base + self.pid, self.pid, self.step);
+                    self.fault(PramError::DenseViolation { addr, pid, step });
+                    return;
+                }
+                self.put_mask |= 1 << k;
+                puts.push((k, self.pid as u32, val));
+            }
+            DenseCtxInner::Fast {
+                wins, put_count, ..
+            } => {
+                let w = wins[k];
+                let i = self.pid - self.chunk_lo;
+                assert!(
+                    i < w.len(),
+                    "dense_step: put to scope {k} from pid {} beyond its window",
+                    self.pid
+                );
+                w[i].set(val);
+                **put_count += 1;
+            }
+        }
+    }
+}
+
+/// Is `addr` inside any of the sorted, disjoint `windows`?
+#[inline]
+fn in_windows(windows: &[(usize, usize)], addr: usize) -> bool {
+    let wi = windows.partition_point(|&(start, _)| start <= addr);
+    wi > 0 && addr < windows[wi - 1].1
+}
+
+impl Machine {
+    /// Execute one synchronous step whose writes follow the dense
+    /// contract: processor `pid` writes only `scopes[k].addr(pid)`, via
+    /// [`DenseCtx::put`]`(k, val)`, at most once per scope; reads must
+    /// avoid every scope's write window `[base, base + p)`.
+    ///
+    /// Semantics, accounting and tracing are identical to
+    /// [`Machine::step`] for contract-abiding programs — the contract
+    /// makes the model's write-exclusivity structural, so the engine
+    /// skips write logging and conflict resolution entirely, and in
+    /// [`ExecMode::Fast`] writes go straight into memory.
+    ///
+    /// Contract violations surface as [`PramError::DenseViolation`]. In
+    /// checked mode a failed dense step is atomic like any failed step;
+    /// in fast mode a violating step may leave a prefix of its writes
+    /// applied (the only non-atomic error path in the simulator).
+    ///
+    /// When `p` exceeds a scope's length, the scope's window is clipped
+    /// to `[base, base + len)` and only processors `pid < len` may put
+    /// it — so a partial tail substep of a Brent-scheduled loop can
+    /// still schedule the full `p` (keeping work accounting identical
+    /// to [`Machine::step`]-based loops) while idle processors simply
+    /// don't put.
+    ///
+    /// # Panics
+    ///
+    /// Panics on host-side misuse: a scope window reaching outside
+    /// memory, overlapping scope windows, more than 64 scopes, or a put
+    /// from a processor outside the scope's window.
+    pub fn dense_step<F>(&mut self, p: usize, scopes: &[Region], f: F) -> Result<(), PramError>
+    where
+        F: Fn(&mut DenseCtx<'_>) + Sync,
+    {
+        let (r0, w0) = (self.stats.reads, self.stats.writes);
+        let res = self.dense_inner(p, scopes, f);
+        if let Some(tr) = &mut self.trace {
+            tr.push(crate::trace::StepTrace {
+                procs: p,
+                reads: self.stats.reads - r0,
+                writes: self.stats.writes - w0,
+                failed: res.is_err(),
+            });
+        }
+        res
+    }
+
+    fn dense_inner<F>(&mut self, p: usize, scopes: &[Region], f: F) -> Result<(), PramError>
+    where
+        F: Fn(&mut DenseCtx<'_>) + Sync,
+    {
+        let step_idx = self.stats.steps;
+        self.stats.steps += 1;
+        self.stats.work += p as u64;
+        if p == 0 {
+            return Ok(());
+        }
+        debug_assert!(p <= u32::MAX as usize, "pid must fit in the stamp array");
+        assert!(scopes.len() <= 64, "dense_step supports at most 64 scopes");
+        // Each scope's write window, clipped to the scope's length.
+        let wlens: Vec<usize> = scopes.iter().map(|s| p.min(s.len())).collect();
+        for (k, s) in scopes.iter().enumerate() {
+            assert!(
+                s.base() + wlens[k] <= self.mem.len(),
+                "dense_step: scope {k} window [{}, {}) exceeds memory size {}",
+                s.base(),
+                s.base() + wlens[k],
+                self.mem.len()
+            );
+        }
+        // Sorted, disjoint write windows.
+        let mut windows: Vec<(usize, usize)> = scopes
+            .iter()
+            .zip(&wlens)
+            .map(|(s, &w)| (s.base(), s.base() + w))
+            .collect();
+        let mut order: Vec<usize> = (0..scopes.len()).collect();
+        order.sort_unstable_by_key(|&i| scopes[i].base());
+        windows.sort_unstable();
+        for w in windows.windows(2) {
+            assert!(
+                w[0].1 <= w[1].0,
+                "dense_step: scope windows overlap at cell {}",
+                w[1].0
+            );
+        }
+
+        let checked = self.mode == ExecMode::Checked;
+        let nchunks = self.plan_chunks(p);
+        let (read_epoch, _) = self.next_epochs();
+
+        if checked {
+            let log_read_addrs = !self.model.allows_concurrent_read();
+            let scope_wins: Vec<(usize, usize)> = scopes
+                .iter()
+                .zip(&wlens)
+                .map(|(s, &w)| (s.base(), w))
+                .collect();
+            run_dense_checked(
+                &mut self.scratch[..nchunks],
+                0,
+                p,
+                &self.mem,
+                &windows,
+                &scope_wins,
+                log_read_addrs,
+                step_idx,
+                &f,
+            );
+            for s in &mut self.scratch[..nchunks] {
+                if let Some(err) = s.fault.take() {
+                    return Err(err);
+                }
+            }
+            let total_reads: u64 = self.scratch[..nchunks].iter().map(|s| s.read_count).sum();
+            self.stats.reads += total_reads;
+            if log_read_addrs && total_reads > 1 {
+                for ci in 0..nchunks {
+                    for ri in 0..self.scratch[ci].reads.len() {
+                        let (addr, pid) = self.scratch[ci].reads[ri];
+                        if self.stamp_epoch[addr] == read_epoch && self.stamp_pid[addr] != pid {
+                            return Err(crate::machine::canonical_read_error(
+                                &self.scratch[..nchunks],
+                                self.model,
+                                step_idx,
+                            ));
+                        }
+                        self.stamp_epoch[addr] = read_epoch;
+                        self.stamp_pid[addr] = pid;
+                    }
+                }
+            }
+            // All checks passed: apply buffered puts. Targets are
+            // pairwise distinct by construction, so order is irrelevant.
+            let total_puts: u64 = self.scratch[..nchunks]
+                .iter()
+                .map(|s| s.writes.len() as u64)
+                .sum();
+            self.stats.writes += total_puts;
+            for ci in 0..nchunks {
+                for wi in 0..self.scratch[ci].writes.len() {
+                    let (k, pid, val) = self.scratch[ci].writes[wi];
+                    self.mem[scope_wins[k].0 + pid as usize] = val;
+                }
+            }
+            return Ok(());
+        }
+
+        // Fast mode: carve each scope's window out of memory and write
+        // in place. `order` gives windows in ascending-base order; the
+        // remaining slices are the shared read-only gaps.
+        let mem_size = self.mem.len();
+        let mut wins: Vec<Option<&mut [Word]>> = scopes.iter().map(|_| None).collect();
+        let mut gaps: Vec<(usize, &[Word])> = Vec::with_capacity(scopes.len() + 1);
+        let mut rest: &mut [Word] = &mut self.mem;
+        let mut pos = 0usize;
+        for &i in &order {
+            let base = scopes[i].base();
+            let (gap, r) = rest.split_at_mut(base - pos);
+            let gap: &[Word] = gap;
+            gaps.push((pos, gap));
+            let (win, r2) = r.split_at_mut(wlens[i]);
+            wins[i] = Some(win);
+            rest = r2;
+            pos = base + wlens[i];
+        }
+        let rest: &[Word] = rest;
+        gaps.push((pos, rest));
+        let wins: Vec<&mut [Word]> = wins
+            .into_iter()
+            .map(|w| w.expect("every scope carved"))
+            .collect();
+
+        run_dense_fast(
+            &mut self.scratch[..nchunks],
+            wins,
+            0,
+            p,
+            &gaps,
+            &windows,
+            mem_size,
+            step_idx,
+            scopes.len(),
+            &f,
+        );
+        for s in &mut self.scratch[..nchunks] {
+            if let Some(err) = s.fault.take() {
+                return Err(err);
+            }
+        }
+        let total_puts: u64 = self.scratch[..nchunks].iter().map(|s| s.put_count).sum();
+        self.stats.writes += total_puts;
+        Ok(())
+    }
+}
+
+/// Checked-mode dense execution over pid range `[lo, hi)`, recursive
+/// chunk split mirroring [`crate::machine`]'s `run_chunks`.
+#[allow(clippy::too_many_arguments)]
+fn run_dense_checked<F>(
+    chunks: &mut [ChunkScratch],
+    lo: usize,
+    hi: usize,
+    mem: &[Word],
+    windows: &[(usize, usize)],
+    scope_wins: &[(usize, usize)],
+    log_read_addrs: bool,
+    step: u64,
+    f: &F,
+) where
+    F: Fn(&mut DenseCtx<'_>) + Sync,
+{
+    if chunks.len() <= 1 {
+        let s = &mut chunks[0];
+        for pid in lo..hi {
+            let mut ctx = DenseCtx {
+                pid,
+                chunk_lo: lo,
+                mem_size: mem.len(),
+                step,
+                nscopes: scope_wins.len(),
+                put_mask: 0,
+                faulted: false,
+                fault_slot: &mut s.fault,
+                inner: DenseCtxInner::Checked {
+                    mem,
+                    windows,
+                    scope_wins,
+                    count_reads: true,
+                    log_read_addrs,
+                    reads: &mut s.reads,
+                    puts: &mut s.writes,
+                    read_count: &mut s.read_count,
+                },
+            };
+            f(&mut ctx);
+        }
+        return;
+    }
+    let half = chunks.len() / 2;
+    let (left, right) = chunks.split_at_mut(half);
+    let mid = lo + (hi - lo) * half / (half + right.len());
+    rayon::join(
+        || {
+            run_dense_checked(
+                left,
+                lo,
+                mid,
+                mem,
+                windows,
+                scope_wins,
+                log_read_addrs,
+                step,
+                f,
+            )
+        },
+        || {
+            run_dense_checked(
+                right,
+                mid,
+                hi,
+                mem,
+                windows,
+                scope_wins,
+                log_read_addrs,
+                step,
+                f,
+            )
+        },
+    );
+}
+
+/// Fast-mode dense execution: each chunk owns the `[lo, hi)` sub-slice
+/// of every scope's window; gaps are shared read-only.
+#[allow(clippy::too_many_arguments)]
+fn run_dense_fast<F>(
+    chunks: &mut [ChunkScratch],
+    wins: Vec<&mut [Word]>,
+    lo: usize,
+    hi: usize,
+    gaps: &[(usize, &[Word])],
+    windows: &[(usize, usize)],
+    mem_size: usize,
+    step: u64,
+    nscopes: usize,
+    f: &F,
+) where
+    F: Fn(&mut DenseCtx<'_>) + Sync,
+{
+    if chunks.len() <= 1 {
+        let s = &mut chunks[0];
+        // One level of `&mut` is dropped here: each exclusive window
+        // sub-slice becomes a slice of `Cell`s, so the per-pid context
+        // can hold everything under a single shared borrow.
+        let cells: Vec<&[Cell<Word>]> = wins
+            .into_iter()
+            .map(|w| Cell::from_mut(w).as_slice_of_cells())
+            .collect();
+        for pid in lo..hi {
+            let mut ctx = DenseCtx {
+                pid,
+                chunk_lo: lo,
+                mem_size,
+                step,
+                nscopes,
+                put_mask: 0,
+                faulted: false,
+                fault_slot: &mut s.fault,
+                inner: DenseCtxInner::Fast {
+                    gaps,
+                    windows,
+                    wins: &cells,
+                    put_count: &mut s.put_count,
+                },
+            };
+            f(&mut ctx);
+        }
+        return;
+    }
+    let half = chunks.len() / 2;
+    let (left, right) = chunks.split_at_mut(half);
+    let mid = lo + (hi - lo) * half / (half + right.len());
+    let mut lwins = Vec::with_capacity(wins.len());
+    let mut rwins = Vec::with_capacity(wins.len());
+    for w in wins {
+        // A clipped window may end inside (or before) this chunk range.
+        let cut = (mid - lo).min(w.len());
+        let (a, b) = w.split_at_mut(cut);
+        lwins.push(a);
+        rwins.push(b);
+    }
+    rayon::join(
+        || {
+            run_dense_fast(
+                left, lwins, lo, mid, gaps, windows, mem_size, step, nscopes, f,
+            )
+        },
+        || {
+            run_dense_fast(
+                right, rwins, mid, hi, gaps, windows, mem_size, step, nscopes, f,
+            )
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    fn both_modes(model: Model, size: usize) -> [Machine; 2] {
+        [Machine::new(model, size), Machine::new_fast(model, size)]
+    }
+
+    #[test]
+    fn dense_sweep_matches_step_semantics() {
+        for mut m in both_modes(Model::Erew, 0) {
+            let a = m.alloc(8);
+            let b = m.alloc(8);
+            m.load_region(a, &[1, 2, 3, 4, 5, 6, 7, 8]);
+            m.dense_step(8, &[b], |ctx| {
+                let v = ctx.get(a, ctx.pid());
+                ctx.put(0, 10 * v);
+            })
+            .unwrap();
+            assert_eq!(m.region_slice(b), &[10, 20, 30, 40, 50, 60, 70, 80]);
+            assert_eq!(m.stats().steps, 1);
+            assert_eq!(m.stats().work, 8);
+            assert_eq!(m.stats().writes, 8);
+            if m.mode() == ExecMode::Checked {
+                assert_eq!(m.stats().reads, 8);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_multi_scope_and_partial_p() {
+        for mut m in both_modes(Model::Crew, 0) {
+            let src = m.alloc(8);
+            let out1 = m.alloc(8);
+            let out2 = m.alloc(8);
+            m.load_region(src, &[5; 8]);
+            // p=4 < scope len 8: only the window prefix is writable.
+            m.dense_step(4, &[out1, out2], |ctx| {
+                let v = ctx.get(src, ctx.pid());
+                ctx.put(0, v + ctx.pid() as Word);
+                ctx.put(1, v * 2);
+            })
+            .unwrap();
+            assert_eq!(m.region_slice(out1), &[5, 6, 7, 8, 0, 0, 0, 0]);
+            assert_eq!(m.region_slice(out2), &[10, 10, 10, 10, 0, 0, 0, 0]);
+            assert_eq!(m.stats().writes, 8);
+        }
+    }
+
+    #[test]
+    fn dense_read_of_window_is_violation() {
+        for mut m in both_modes(Model::Crew, 0) {
+            let out = m.alloc(4);
+            let err = m.dense_step(4, &[out], |ctx| {
+                let v = ctx.get(out, ctx.pid()); // reading the write window
+                ctx.put(0, v);
+            });
+            match err {
+                Err(PramError::DenseViolation { pid: 0, .. }) => {}
+                other => panic!("want lowest-pid DenseViolation, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dense_read_outside_window_tail_is_legal() {
+        // Cells of the scope *region* beyond the window [base, base+p)
+        // are ordinary readable memory.
+        for mut m in both_modes(Model::Crew, 0) {
+            let out = m.alloc(8);
+            m.poke(out.addr(6), 42);
+            m.dense_step(2, &[out], |ctx| {
+                let v = ctx.get(out, 6);
+                ctx.put(0, v + ctx.pid() as Word);
+            })
+            .unwrap();
+            assert_eq!(m.region_slice(out)[..2], [42, 43]);
+        }
+    }
+
+    #[test]
+    fn dense_double_put_checked_faults() {
+        let mut m = Machine::new(Model::Crew, 4);
+        let out = Region::new(0, 4);
+        let err = m.dense_step(4, &[out], |ctx| {
+            ctx.put(0, 1);
+            ctx.put(0, 2);
+        });
+        assert!(
+            matches!(err, Err(PramError::DenseViolation { pid: 0, .. })),
+            "{err:?}"
+        );
+        // Checked dense errors are atomic.
+        assert_eq!(m.memory(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn dense_erew_read_conflict_detected() {
+        let mut m = Machine::new(Model::Erew, 8);
+        m.poke(7, 3);
+        let out = Region::new(0, 4);
+        let err = m.dense_step(4, &[out], |ctx| {
+            let v = ctx.read(7); // every pid reads cell 7
+            ctx.put(0, v);
+        });
+        assert!(
+            matches!(err, Err(PramError::ReadConflict { addr: 7, .. })),
+            "{err:?}"
+        );
+        assert_eq!(m.memory()[..4], [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn dense_oob_read_faults_lowest_pid() {
+        for mut m in both_modes(Model::Crew, 0) {
+            let out = m.alloc(4);
+            let err = m.dense_step(4, &[out], |ctx| {
+                let v = ctx.read(1000 + ctx.pid());
+                ctx.put(0, v);
+            });
+            assert!(
+                matches!(
+                    err,
+                    Err(PramError::OutOfBounds {
+                        addr: 1000,
+                        pid: 0,
+                        ..
+                    })
+                ),
+                "{err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_trace_and_stats_match_step_twin() {
+        // The same computation as step() and dense_step() must produce
+        // identical memory, stats and trace.
+        let run = |dense: bool| {
+            let mut m = Machine::new(Model::Erew, 0);
+            let a = m.alloc(64);
+            let b = m.alloc(64);
+            for i in 0..64 {
+                m.poke(a.addr(i), (i * i) as Word);
+            }
+            m.enable_trace();
+            if dense {
+                m.dense_step(64, &[b], |ctx| {
+                    let v = ctx.get(a, ctx.pid());
+                    ctx.put(0, v + 1);
+                })
+                .unwrap();
+            } else {
+                m.step(64, |ctx| {
+                    let v = a.get(ctx, ctx.pid());
+                    b.set(ctx, ctx.pid(), v + 1);
+                })
+                .unwrap();
+            }
+            (
+                m.memory().to_vec(),
+                *m.stats(),
+                m.take_trace().unwrap().steps().to_vec(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn dense_large_step_matches_across_threads_and_modes() {
+        let run = |threads: usize, fast: bool| -> Vec<Word> {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    let mut m = if fast {
+                        Machine::new_fast(Model::Crew, 0)
+                    } else {
+                        Machine::new(Model::Crew, 0)
+                    };
+                    let n = 1 << 12;
+                    let a = m.alloc(n);
+                    let b = m.alloc(n);
+                    for i in 0..n {
+                        m.poke(a.addr(i), i as Word);
+                    }
+                    for _ in 0..4 {
+                        m.dense_step(n, &[b], |ctx| {
+                            let v = ctx.get(a, ctx.pid());
+                            ctx.put(0, v.wrapping_mul(3).wrapping_add(1));
+                        })
+                        .unwrap();
+                        m.dense_step(n, &[a], |ctx| {
+                            let v = ctx.get(b, ctx.pid());
+                            ctx.put(0, v ^ (v >> 3));
+                        })
+                        .unwrap();
+                    }
+                    m.memory().to_vec()
+                })
+        };
+        let want = run(1, false);
+        for (threads, fast) in [(1, true), (4, false), (4, true), (3, true)] {
+            assert_eq!(run(threads, fast), want, "threads={threads} fast={fast}");
+        }
+    }
+
+    #[test]
+    fn dense_p_larger_than_scope_clips_window() {
+        // Full p scheduled, scope shorter: idle pids skip the put.
+        for mut m in both_modes(Model::Crew, 0) {
+            let out = m.alloc(3);
+            let flag = m.alloc(8);
+            m.dense_step(8, &[out, flag], |ctx| {
+                if ctx.pid() < 3 {
+                    ctx.put(0, 7);
+                }
+                ctx.put(1, ctx.pid() as Word);
+            })
+            .unwrap();
+            assert_eq!(m.region_slice(out), &[7, 7, 7]);
+            assert_eq!(m.region_slice(flag), &[0, 1, 2, 3, 4, 5, 6, 7]);
+            assert_eq!(m.stats().work, 8);
+            assert_eq!(m.stats().writes, 11);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond its window")]
+    fn dense_put_beyond_scope_window_panics() {
+        let mut m = Machine::new(Model::Erew, 4);
+        let out = Region::new(0, 2);
+        let _ = m.dense_step(4, &[out], |ctx| ctx.put(0, ctx.pid() as Word));
+    }
+
+    #[test]
+    #[should_panic(expected = "scope windows overlap")]
+    fn dense_overlapping_windows_panic() {
+        let mut m = Machine::new(Model::Erew, 16);
+        let a = Region::new(0, 8);
+        let b = Region::new(4, 8);
+        let _ = m.dense_step(8, &[a, b], |ctx| {
+            ctx.put(0, 1);
+            ctx.put(1, 2);
+        });
+    }
+
+    #[test]
+    fn dense_zero_processors_is_noop() {
+        let mut m = Machine::new(Model::Erew, 4);
+        let out = Region::new(0, 4);
+        m.dense_step(0, &[out], |_ctx| unreachable!()).unwrap();
+        assert_eq!(m.stats().steps, 1);
+        assert_eq!(m.stats().work, 0);
+    }
+
+    #[test]
+    fn dense_no_scopes_pure_read_step() {
+        let mut m = Machine::new_fast(Model::Crew, 8);
+        m.poke(3, 9);
+        m.dense_step(4, &[], |ctx| {
+            let _ = ctx.read(3);
+        })
+        .unwrap();
+        assert_eq!(m.stats().writes, 0);
+    }
+}

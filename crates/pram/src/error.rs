@@ -48,17 +48,39 @@ pub enum PramError {
         /// Processor that faulted.
         pid: usize,
     },
+    /// A [`dense_step`](crate::machine::Machine::dense_step) contract
+    /// violation: a processor read a cell inside one of the step's write
+    /// windows, or put a scope twice.
+    DenseViolation {
+        /// The offending address (for a double put, the scope's target
+        /// cell for that processor).
+        addr: usize,
+        /// Processor that violated the contract.
+        pid: usize,
+        /// Simulated step index at which the violation occurred.
+        step: u64,
+    },
 }
 
 impl std::fmt::Display for PramError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PramError::ReadConflict { model, addr, pids, step } => write!(
+            PramError::ReadConflict {
+                model,
+                addr,
+                pids,
+                step,
+            } => write!(
                 f,
                 "step {step}: processors {} and {} both read cell {addr} on {model}",
                 pids.0, pids.1
             ),
-            PramError::WriteConflict { model, addr, pids, step } => write!(
+            PramError::WriteConflict {
+                model,
+                addr,
+                pids,
+                step,
+            } => write!(
                 f,
                 "step {step}: processors {} and {} both wrote cell {addr} on {model}",
                 pids.0, pids.1
@@ -71,6 +93,10 @@ impl std::fmt::Display for PramError {
             PramError::OutOfBounds { addr, size, pid } => write!(
                 f,
                 "processor {pid} addressed cell {addr} of a {size}-word memory"
+            ),
+            PramError::DenseViolation { addr, pid, step } => write!(
+                f,
+                "step {step}: processor {pid} violated the dense-step contract at cell {addr}"
             ),
         }
     }
@@ -93,10 +119,18 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("42") && s.contains("EREW") && s.contains("step 7"));
 
-        let e = PramError::CommonValueMismatch { addr: 9, values: (5, 6), step: 0 };
+        let e = PramError::CommonValueMismatch {
+            addr: 9,
+            values: (5, 6),
+            step: 0,
+        };
         assert!(e.to_string().contains("5 vs 6"));
 
-        let e = PramError::OutOfBounds { addr: 100, size: 10, pid: 2 };
+        let e = PramError::OutOfBounds {
+            addr: 100,
+            size: 10,
+            pid: 2,
+        };
         assert!(e.to_string().contains("100"));
     }
 }

@@ -22,6 +22,15 @@
 //!   stated in — is independent of the host's parallelism;
 //! * [`Stats`] accounts steps, work (processor-steps), reads and writes.
 //!
+//! The engine behind [`Machine::step`] is epoch-stamped and
+//! allocation-recycling (see [`machine`] for internals), and
+//! [`Machine::dense_step`] offers a still faster path for the regular
+//! one-cell-per-processor write pattern that dominates the paper's
+//! algorithms (see [`dense`]). The original log-and-sort engine is
+//! preserved verbatim as [`legacy::LegacyMachine`] — it defines the
+//! observable semantics the new engine is property-tested against, and
+//! is the baseline of the engine benchmarks.
+//!
 //! Determinism: for a fixed program the post-step memory image never
 //! depends on thread scheduling — write collisions are resolved by
 //! processor id (priority) or value agreement (common), never by arrival
@@ -57,14 +66,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dense;
 pub mod error;
+pub mod legacy;
 pub mod machine;
 pub mod model;
 pub mod region;
 pub mod stats;
 pub mod trace;
 
+pub use dense::DenseCtx;
 pub use error::PramError;
+pub use legacy::{LegacyCtx, LegacyMachine};
 pub use machine::{ExecMode, Machine, ProcCtx};
 pub use model::Model;
 pub use region::Region;

@@ -1,11 +1,49 @@
 //! The step engine.
+//!
+//! # Engine internals (epoch-stamped, allocation-recycling)
+//!
+//! A step runs in two phases:
+//!
+//! 1. **Execute** — processors `0..p` are partitioned into contiguous
+//!    pid chunks (at most one per worker thread, at least
+//!    [`MIN_CHUNK`] pids each) and run via recursive [`rayon::join`].
+//!    Each chunk appends its read log and its per-pid-deduplicated
+//!    write list into a recycled [`ChunkScratch`] owned by the
+//!    [`Machine`] — no per-processor or per-step allocation.
+//! 2. **Resolve** — a sequential pass walks the chunk scratches in pid
+//!    order and applies writes in place, first-writer-per-cell wins
+//!    (equals lowest pid, because the walk is pid-ordered). Conflicts
+//!    are detected with **epoch stamps**: two `Vec`s over memory cells
+//!    (`stamp_epoch`, `stamp_pid`) record who touched a cell this step;
+//!    the epoch advances every step so the stamps never need clearing.
+//!    An undo log keeps failed steps atomic.
+//!
+//! Read-exclusivity (EREW) is checked the same way: a stamped pass over
+//! the logged `(addr, pid)` reads, instead of the former
+//! clone + sort + dedup + windows scan. When any conflict is detected,
+//! the engine falls back to [`canonical_read_error`] /
+//! [`canonical_write_error`] — a verbatim re-run of the original sorted
+//! windows scan — so the *selected* error (lowest address, lowest
+//! colliding pids, `WriteConflict` before `CommonValueMismatch`) is
+//! bit-identical to the original engine, while the conflict-free hot
+//! path never sorts or allocates. [`crate::legacy::LegacyMachine`]
+//! retains the original engine for differential tests and benchmarks.
+//!
+//! A third entry point, [`Machine::dense_step`] (see
+//! [`crate::dense`]), handles the dominant regular access pattern with
+//! structural legality instead of logging.
 
 use crate::error::PramError;
 use crate::model::Model;
 use crate::region::Region;
 use crate::stats::Stats;
 use crate::Word;
-use rayon::prelude::*;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Minimum processors per execution chunk; below `2 *` this a step runs
+/// sequentially. Matches the old engine's `with_min_len(256)` grain.
+pub(crate) const MIN_CHUNK: usize = 256;
 
 /// Whether step barriers enforce the model's legality rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -20,6 +58,95 @@ pub enum ExecMode {
     Fast,
 }
 
+/// Recycled per-chunk buffers: one execution chunk's read log, write
+/// list, fault slot and dedup scratch. Kept on the [`Machine`] across
+/// steps so the steady state allocates nothing.
+#[derive(Debug, Default)]
+pub(crate) struct ChunkScratch {
+    /// `(addr, pid)` for every read — filled only on exclusive-read
+    /// models in checked mode.
+    pub(crate) reads: Vec<(usize, u32)>,
+    /// `(addr, pid, val)` per surviving write, deduplicated within each
+    /// pid (last write to a cell wins), in pid order.
+    pub(crate) writes: Vec<(usize, u32, Word)>,
+    /// Lowest-pid fault raised in this chunk, if any.
+    pub(crate) fault: Option<PramError>,
+    /// Total read calls (pre-dedup), for [`Stats::reads`].
+    pub(crate) read_count: u64,
+    /// Total put calls in a dense step, for [`Stats::writes`].
+    pub(crate) put_count: u64,
+    // Per-pid write dedup scratch (large-tail path): addr -> (generation,
+    // index into `dedup_tmp`). Generations avoid clearing the map.
+    dedup_map: HashMap<usize, (u64, usize)>,
+    dedup_gen: u64,
+    dedup_tmp: Vec<(usize, Word)>,
+}
+
+impl ChunkScratch {
+    pub(crate) fn reset(&mut self) {
+        self.reads.clear();
+        self.writes.clear();
+        self.fault = None;
+        self.read_count = 0;
+        self.put_count = 0;
+    }
+}
+
+/// Per-pid write dedup above this tail length switches from a quadratic
+/// in-place scan to the generation-stamped hash map.
+const DEDUP_LINEAR_MAX: usize = 16;
+
+/// Deduplicate the current pid's writes — `writes[start..]` — keeping,
+/// for every cell, the **last** value the processor wrote (sequential
+/// semantics within a processor).
+fn dedup_pid_writes(scratch: &mut ChunkScratch, start: usize) {
+    let n = scratch.writes.len() - start;
+    if n <= 1 {
+        return;
+    }
+    if n <= DEDUP_LINEAR_MAX {
+        // Keep entry i iff no later write targets the same cell.
+        let mut keep = start;
+        for i in start..scratch.writes.len() {
+            let a = scratch.writes[i].0;
+            if scratch.writes[i + 1..].iter().all(|w| w.0 != a) {
+                scratch.writes[keep] = scratch.writes[i];
+                keep += 1;
+            }
+        }
+        scratch.writes.truncate(keep);
+        return;
+    }
+    let ChunkScratch {
+        writes,
+        dedup_map,
+        dedup_gen,
+        dedup_tmp,
+        ..
+    } = scratch;
+    *dedup_gen += 1;
+    let gen = *dedup_gen;
+    dedup_tmp.clear();
+    let pid = writes[start].1;
+    for &(a, _, v) in &writes[start..] {
+        match dedup_map.entry(a) {
+            Entry::Occupied(e) if e.get().0 == gen => {
+                dedup_tmp[e.get().1].1 = v;
+            }
+            Entry::Occupied(mut e) => {
+                e.insert((gen, dedup_tmp.len()));
+                dedup_tmp.push((a, v));
+            }
+            Entry::Vacant(e) => {
+                e.insert((gen, dedup_tmp.len()));
+                dedup_tmp.push((a, v));
+            }
+        }
+    }
+    writes.truncate(start);
+    writes.extend(dedup_tmp.iter().map(|&(a, v)| (a, pid, v)));
+}
+
 /// Per-processor view of one simulated step: reads against the pre-step
 /// memory image, buffered writes.
 ///
@@ -28,21 +155,30 @@ pub enum ExecMode {
 pub struct ProcCtx<'a> {
     pid: usize,
     mem: &'a [Word],
-    log_reads: bool,
-    reads: Vec<usize>,
-    writes: Vec<(usize, Word)>,
-    fault: Option<PramError>,
+    count_reads: bool,
+    log_read_addrs: bool,
+    reads: &'a mut Vec<(usize, u32)>,
+    writes: &'a mut Vec<(usize, u32, Word)>,
+    read_count: &'a mut u64,
+    fault_slot: &'a mut Option<PramError>,
+    faulted: bool,
 }
 
 impl<'a> ProcCtx<'a> {
-    fn new(pid: usize, mem: &'a [Word], log_reads: bool) -> Self {
-        Self { pid, mem, log_reads, reads: Vec::new(), writes: Vec::new(), fault: None }
-    }
-
     /// This virtual processor's id, `0 ≤ pid < p`.
     #[inline]
     pub fn pid(&self) -> usize {
         self.pid
+    }
+
+    #[inline]
+    fn fault(&mut self, err: PramError) {
+        self.faulted = true;
+        // Pids run in ascending order within a chunk, so the first fault
+        // kept is the chunk's lowest-pid fault.
+        if self.fault_slot.is_none() {
+            *self.fault_slot = Some(err);
+        }
     }
 
     /// Read cell `addr` as of the start of the step.
@@ -51,18 +187,21 @@ impl<'a> ProcCtx<'a> {
     /// error) and reads as 0 so the remainder of the closure stays total.
     #[inline]
     pub fn read(&mut self, addr: usize) -> Word {
-        if self.fault.is_some() {
+        if self.faulted {
             return 0;
         }
         match self.mem.get(addr) {
             Some(&v) => {
-                if self.log_reads {
-                    self.reads.push(addr);
+                if self.count_reads {
+                    *self.read_count += 1;
+                    if self.log_read_addrs {
+                        self.reads.push((addr, self.pid as u32));
+                    }
                 }
                 v
             }
             None => {
-                self.fault = Some(PramError::OutOfBounds {
+                self.fault(PramError::OutOfBounds {
                     addr,
                     size: self.mem.len(),
                     pid: self.pid,
@@ -77,18 +216,18 @@ impl<'a> ProcCtx<'a> {
     /// its **last** value (sequential semantics within the processor).
     #[inline]
     pub fn write(&mut self, addr: usize, val: Word) {
-        if self.fault.is_some() {
+        if self.faulted {
             return;
         }
         if addr >= self.mem.len() {
-            self.fault = Some(PramError::OutOfBounds {
+            self.fault(PramError::OutOfBounds {
                 addr,
                 size: self.mem.len(),
                 pid: self.pid,
             });
             return;
         }
-        self.writes.push((addr, val));
+        self.writes.push((addr, self.pid as u32, val));
     }
 
     /// Memory size in words (host constant, free to consult).
@@ -98,46 +237,51 @@ impl<'a> ProcCtx<'a> {
     }
 }
 
-/// One per-processor record produced by a step.
-struct ProcLog {
-    pid: usize,
-    reads: Vec<usize>,
-    writes: Vec<(usize, Word)>,
-    fault: Option<PramError>,
-}
-
 /// A simulated PRAM: shared word memory plus a model and an execution
 /// mode. See the [crate docs](crate) for semantics and an example.
 #[derive(Debug)]
 pub struct Machine {
-    mem: Vec<Word>,
-    model: Model,
-    mode: ExecMode,
-    stats: Stats,
-    trace: Option<crate::trace::Trace>,
+    pub(crate) mem: Vec<Word>,
+    pub(crate) model: Model,
+    pub(crate) mode: ExecMode,
+    pub(crate) stats: Stats,
+    pub(crate) trace: Option<crate::trace::Trace>,
+    /// Step epoch for the stamp arrays; advances by 2 per step (one
+    /// sub-epoch for reads, one for writes), so stamps never clear.
+    pub(crate) epoch: u64,
+    pub(crate) stamp_epoch: Vec<u64>,
+    pub(crate) stamp_pid: Vec<u32>,
+    pub(crate) scratch: Vec<ChunkScratch>,
+    /// `(addr, previous value)` per applied write — rolls back a step
+    /// whose conflict surfaces mid-resolution, keeping failed steps
+    /// atomic.
+    pub(crate) undo: Vec<(usize, Word)>,
 }
 
 impl Machine {
     /// A machine with `size` words of zeroed shared memory, running in
     /// [`ExecMode::Checked`].
     pub fn new(model: Model, size: usize) -> Self {
-        Self {
-            mem: vec![0; size],
-            model,
-            mode: ExecMode::Checked,
-            stats: Stats::default(),
-            trace: None,
-        }
+        Self::with_mode(model, size, ExecMode::Checked)
     }
 
     /// A machine in [`ExecMode::Fast`].
     pub fn new_fast(model: Model, size: usize) -> Self {
+        Self::with_mode(model, size, ExecMode::Fast)
+    }
+
+    fn with_mode(model: Model, size: usize, mode: ExecMode) -> Self {
         Self {
             mem: vec![0; size],
             model,
-            mode: ExecMode::Fast,
+            mode,
             stats: Stats::default(),
             trace: None,
+            epoch: 0,
+            stamp_epoch: Vec::new(),
+            stamp_pid: Vec::new(),
+            scratch: Vec::new(),
+            undo: Vec::new(),
         }
     }
 
@@ -226,6 +370,35 @@ impl Machine {
         &self.mem
     }
 
+    /// How many execution chunks a `p`-processor step uses, and make
+    /// sure `scratch[..n]` exists and is reset.
+    pub(crate) fn plan_chunks(&mut self, p: usize) -> usize {
+        let threads = rayon::current_num_threads();
+        let n = if threads <= 1 || p < 2 * MIN_CHUNK {
+            1
+        } else {
+            threads.min(p / MIN_CHUNK).max(1)
+        };
+        if self.scratch.len() < n {
+            self.scratch.resize_with(n, ChunkScratch::default);
+        }
+        for s in &mut self.scratch[..n] {
+            s.reset();
+        }
+        n
+    }
+
+    /// Advance the step epoch and make sure the stamp arrays cover
+    /// memory. Returns `(read_epoch, write_epoch)`.
+    pub(crate) fn next_epochs(&mut self) -> (u64, u64) {
+        self.epoch += 2;
+        if self.stamp_epoch.len() < self.mem.len() {
+            self.stamp_epoch.resize(self.mem.len(), 0);
+            self.stamp_pid.resize(self.mem.len(), 0);
+        }
+        (self.epoch - 1, self.epoch)
+    }
+
     /// Execute one synchronous step on processors `0..p`.
     ///
     /// Every processor's closure runs against the pre-step memory image;
@@ -256,102 +429,91 @@ impl Machine {
         let step_idx = self.stats.steps;
         self.stats.steps += 1;
         self.stats.work += p as u64;
+        if p == 0 {
+            return Ok(());
+        }
+        debug_assert!(p <= u32::MAX as usize, "pid must fit in the stamp array");
 
-        let log_reads = self.mode == ExecMode::Checked;
-        let mem = &self.mem;
-        let mut logs: Vec<ProcLog> = (0..p)
-            .into_par_iter()
-            .with_min_len(256)
-            .map(|pid| {
-                let mut ctx = ProcCtx::new(pid, mem, log_reads);
-                f(&mut ctx);
-                ProcLog { pid, reads: ctx.reads, writes: ctx.writes, fault: ctx.fault }
-            })
-            .collect();
+        let checked = self.mode == ExecMode::Checked;
+        let log_read_addrs = checked && !self.model.allows_concurrent_read();
+        let nchunks = self.plan_chunks(p);
+        let (read_epoch, write_epoch) = self.next_epochs();
 
-        // Surface the lowest-pid fault deterministically.
-        if let Some(log) = logs.iter_mut().find(|l| l.fault.is_some()) {
-            return Err(log.fault.take().expect("fault present"));
+        // Phase 1: execute all processors into the chunk scratches.
+        run_chunks(
+            &mut self.scratch[..nchunks],
+            0,
+            p,
+            &self.mem,
+            checked,
+            log_read_addrs,
+            &f,
+        );
+
+        // Surface the lowest-pid fault deterministically (chunks cover
+        // ascending pid ranges; each keeps its own lowest-pid fault).
+        for s in &mut self.scratch[..nchunks] {
+            if let Some(err) = s.fault.take() {
+                return Err(err);
+            }
         }
 
-        // Read-conflict detection (checked mode, exclusive-read models).
-        if log_reads {
-            let read_count: usize = logs.iter().map(|l| l.reads.len()).sum();
-            self.stats.reads += read_count as u64;
-            if !self.model.allows_concurrent_read() && read_count > 1 {
-                let mut reads: Vec<(usize, usize)> = logs
-                    .par_iter()
-                    .flat_map_iter(|l| {
-                        // A processor re-reading its own cell is one access
-                        // pattern the EREW model allows (it is still one
-                        // processor at the cell), so dedup within the pid.
-                        let mut rs = l.reads.clone();
-                        rs.sort_unstable();
-                        rs.dedup();
-                        rs.into_iter().map(move |a| (a, l.pid))
-                    })
-                    .collect();
-                reads.par_sort_unstable();
-                for w in reads.windows(2) {
-                    if w[0].0 == w[1].0 {
-                        return Err(PramError::ReadConflict {
-                            model: self.model,
-                            addr: w[0].0,
-                            pids: (w[0].1, w[1].1),
-                            step: step_idx,
-                        });
+        // Phase 2a: read accounting and exclusivity.
+        if checked {
+            let total_reads: u64 = self.scratch[..nchunks].iter().map(|s| s.read_count).sum();
+            self.stats.reads += total_reads;
+            if log_read_addrs && total_reads > 1 {
+                for ci in 0..nchunks {
+                    for ri in 0..self.scratch[ci].reads.len() {
+                        let (addr, pid) = self.scratch[ci].reads[ri];
+                        if self.stamp_epoch[addr] == read_epoch && self.stamp_pid[addr] != pid {
+                            return Err(canonical_read_error(
+                                &self.scratch[..nchunks],
+                                self.model,
+                                step_idx,
+                            ));
+                        }
+                        self.stamp_epoch[addr] = read_epoch;
+                        self.stamp_pid[addr] = pid;
                     }
                 }
             }
         }
 
-        // Gather writes: (addr, pid, val), sorted so the lowest pid per
-        // address comes first and resolution is deterministic.
-        let mut writes: Vec<(usize, usize, Word)> = logs
-            .par_iter()
-            .flat_map_iter(|l| {
-                // Within a processor, the last write to a cell wins;
-                // iterate in reverse keeping first-seen.
-                let mut seen: Vec<(usize, Word)> = Vec::with_capacity(l.writes.len());
-                for &(a, v) in l.writes.iter().rev() {
-                    if !seen.iter().any(|&(sa, _)| sa == a) {
-                        seen.push((a, v));
+        // Phase 2b: write accounting and stamped resolution. The walk is
+        // in pid order, so the first writer stamped at a cell is the
+        // lowest pid — exactly the old sorted first-writer-wins rule.
+        let total_writes: u64 = self.scratch[..nchunks]
+            .iter()
+            .map(|s| s.writes.len() as u64)
+            .sum();
+        self.stats.writes += total_writes;
+        let exclusive_write = checked && !self.model.allows_concurrent_write();
+        let common_value = checked && self.model.requires_common_value();
+        self.undo.clear();
+        for ci in 0..nchunks {
+            for wi in 0..self.scratch[ci].writes.len() {
+                let (addr, pid, val) = self.scratch[ci].writes[wi];
+                if self.stamp_epoch[addr] == write_epoch {
+                    if exclusive_write || (common_value && self.mem[addr] != val) {
+                        for &(a, old) in self.undo.iter().rev() {
+                            self.mem[a] = old;
+                        }
+                        return Err(canonical_write_error(
+                            &self.scratch[..nchunks],
+                            self.model,
+                            step_idx,
+                        ));
                     }
+                    // Legal concurrent write: the lowest pid already won.
+                } else {
+                    self.stamp_epoch[addr] = write_epoch;
+                    self.stamp_pid[addr] = pid;
+                    if checked {
+                        self.undo.push((addr, self.mem[addr]));
+                    }
+                    self.mem[addr] = val;
                 }
-                seen.into_iter().map(move |(a, v)| (a, l.pid, v))
-            })
-            .collect();
-        self.stats.writes += writes.len() as u64;
-        writes.par_sort_unstable();
-
-        if self.mode == ExecMode::Checked {
-            for w in writes.windows(2) {
-                if w[0].0 == w[1].0 {
-                    if !self.model.allows_concurrent_write() {
-                        return Err(PramError::WriteConflict {
-                            model: self.model,
-                            addr: w[0].0,
-                            pids: (w[0].1, w[1].1),
-                            step: step_idx,
-                        });
-                    }
-                    if self.model.requires_common_value() && w[0].2 != w[1].2 {
-                        return Err(PramError::CommonValueMismatch {
-                            addr: w[0].0,
-                            values: (w[0].2, w[1].2),
-                            step: step_idx,
-                        });
-                    }
-                }
-            }
-        }
-
-        // Apply: first (lowest-pid) writer per address wins.
-        let mut last_addr = usize::MAX;
-        for (addr, _pid, val) in writes {
-            if addr != last_addr {
-                self.mem[addr] = val;
-                last_addr = addr;
             }
         }
         Ok(())
@@ -367,6 +529,143 @@ impl Machine {
         }
         Ok(())
     }
+}
+
+/// Run pids `[lo, hi)` over `chunks`, splitting recursively so each
+/// chunk executes on (at most) one worker thread. Chunk `i` always
+/// receives the `i`-th contiguous pid range, so the concatenated
+/// scratches are in ascending pid order regardless of scheduling.
+fn run_chunks<F>(
+    chunks: &mut [ChunkScratch],
+    lo: usize,
+    hi: usize,
+    mem: &[Word],
+    count_reads: bool,
+    log_read_addrs: bool,
+    f: &F,
+) where
+    F: Fn(&mut ProcCtx<'_>) + Sync,
+{
+    if chunks.len() <= 1 {
+        let s = &mut chunks[0];
+        for pid in lo..hi {
+            let write_start = s.writes.len();
+            let mut ctx = ProcCtx {
+                pid,
+                mem,
+                count_reads,
+                log_read_addrs,
+                reads: &mut s.reads,
+                writes: &mut s.writes,
+                read_count: &mut s.read_count,
+                fault_slot: &mut s.fault,
+                faulted: false,
+            };
+            f(&mut ctx);
+            if !ctx.faulted {
+                dedup_pid_writes(s, write_start);
+            }
+        }
+        return;
+    }
+    let half = chunks.len() / 2;
+    let (left, right) = chunks.split_at_mut(half);
+    let mid = lo + (hi - lo) * half / (half + right.len());
+    rayon::join(
+        || run_chunks(left, lo, mid, mem, count_reads, log_read_addrs, f),
+        || run_chunks(right, mid, hi, mem, count_reads, log_read_addrs, f),
+    );
+}
+
+/// Mode-specific internals of a [`crate::dense::DenseCtx`]. Lives here
+/// so the dense path can reuse the machine's recycled chunk scratches.
+pub(crate) enum DenseCtxInner<'a> {
+    /// Checked mode: reads resolve against the whole (pre-step, not yet
+    /// mutated) memory image; puts are buffered.
+    Checked {
+        mem: &'a [Word],
+        /// Sorted, disjoint global write windows, for read legality.
+        windows: &'a [(usize, usize)],
+        /// `(base, window length)` per scope in scope order, for put
+        /// targets and put-range checks.
+        scope_wins: &'a [(usize, usize)],
+        count_reads: bool,
+        log_read_addrs: bool,
+        reads: &'a mut Vec<(usize, u32)>,
+        /// Buffered `(scope, pid, val)` puts (reuses the write scratch).
+        puts: &'a mut Vec<(usize, u32, Word)>,
+        read_count: &'a mut u64,
+    },
+    /// Fast mode: memory is partitioned into shared gap slices and this
+    /// chunk's exclusive per-scope window sub-slices (as `Cell`s so one
+    /// shared borrow suffices); puts land in place.
+    Fast {
+        /// `(global start, slice)` per gap, ascending, tiling memory
+        /// together with the windows.
+        gaps: &'a [(usize, &'a [Word])],
+        windows: &'a [(usize, usize)],
+        wins: &'a [&'a [std::cell::Cell<Word>]],
+        put_count: &'a mut u64,
+    },
+}
+
+/// Recompute the read-conflict error exactly as the original engine
+/// selected it: per-pid dedup, global sort by `(addr, pid)`, first
+/// adjacent collision. Called only after the stamp pass has proven a
+/// conflict exists, so cost is irrelevant.
+pub(crate) fn canonical_read_error(chunks: &[ChunkScratch], model: Model, step: u64) -> PramError {
+    let mut reads: Vec<(usize, u32)> = chunks
+        .iter()
+        .flat_map(|s| s.reads.iter().copied())
+        .collect();
+    // Sorting (addr, pid) then deduplicating exact pairs is equivalent to
+    // the old per-pid sort+dedup followed by a global sort: same set of
+    // unique (addr, pid) pairs, same order.
+    reads.sort_unstable();
+    reads.dedup();
+    for w in reads.windows(2) {
+        if w[0].0 == w[1].0 {
+            return PramError::ReadConflict {
+                model,
+                addr: w[0].0,
+                pids: (w[0].1 as usize, w[1].1 as usize),
+                step,
+            };
+        }
+    }
+    unreachable!("stamp pass found a read conflict the canonical scan did not")
+}
+
+/// Recompute the write-conflict error exactly as the original engine
+/// selected it: global sort of per-pid-deduped `(addr, pid, val)`
+/// triples, first adjacent collision, `WriteConflict` before
+/// `CommonValueMismatch` per pair.
+fn canonical_write_error(chunks: &[ChunkScratch], model: Model, step: u64) -> PramError {
+    let mut writes: Vec<(usize, u32, Word)> = chunks
+        .iter()
+        .flat_map(|s| s.writes.iter().copied())
+        .collect();
+    writes.sort_unstable();
+    for w in writes.windows(2) {
+        if w[0].0 == w[1].0 {
+            if !model.allows_concurrent_write() {
+                return PramError::WriteConflict {
+                    model,
+                    addr: w[0].0,
+                    pids: (w[0].1 as usize, w[1].1 as usize),
+                    step,
+                };
+            }
+            if model.requires_common_value() && w[0].2 != w[1].2 {
+                return PramError::CommonValueMismatch {
+                    addr: w[0].0,
+                    values: (w[0].2, w[1].2),
+                    step,
+                };
+            }
+        }
+    }
+    unreachable!("stamp pass found a write conflict the canonical scan did not")
 }
 
 #[cfg(test)]
@@ -395,7 +694,10 @@ mod tests {
         let err = m.step(2, |ctx| {
             ctx.read(3);
         });
-        assert!(matches!(err, Err(PramError::ReadConflict { addr: 3, .. })), "{err:?}");
+        assert!(
+            matches!(err, Err(PramError::ReadConflict { addr: 3, .. })),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -426,7 +728,10 @@ mod tests {
         m.step(4, |ctx| ctx.write(2, 7)).unwrap();
         assert_eq!(m.peek(2), 7);
         let err = m.step(2, |ctx| ctx.write(2, ctx.pid() as Word));
-        assert!(matches!(err, Err(PramError::CommonValueMismatch { addr: 2, .. })));
+        assert!(matches!(
+            err,
+            Err(PramError::CommonValueMismatch { addr: 2, .. })
+        ));
         // failed step must not have modified memory
         assert_eq!(m.peek(2), 7);
     }
@@ -435,7 +740,8 @@ mod tests {
     fn crcw_priority_lowest_pid_wins() {
         for model in [Model::CrcwArbitrary, Model::CrcwPriority] {
             let mut m = Machine::new(model, 1);
-            m.step(8, |ctx| ctx.write(0, 100 + ctx.pid() as Word)).unwrap();
+            m.step(8, |ctx| ctx.write(0, 100 + ctx.pid() as Word))
+                .unwrap();
             assert_eq!(m.peek(0), 100, "{model}");
         }
     }
@@ -450,6 +756,62 @@ mod tests {
         })
         .unwrap();
         assert_eq!(m.peek(0), 3);
+    }
+
+    #[test]
+    fn many_writes_to_same_cell_dedup_to_last() {
+        // Exercises the hash-map dedup path (tail length > 16) and the
+        // stats contract: the deduped count is what's accounted.
+        let mut m = Machine::new(Model::Erew, 4);
+        m.step(2, |ctx| {
+            if ctx.pid() == 0 {
+                for k in 0..100u64 {
+                    ctx.write(0, k);
+                    ctx.write(1, 2 * k);
+                }
+            } else {
+                for k in 0..100u64 {
+                    ctx.write(2, 3 * k);
+                }
+                ctx.write(3, 11);
+            }
+        })
+        .unwrap();
+        assert_eq!(m.peek(0), 99);
+        assert_eq!(m.peek(1), 198);
+        assert_eq!(m.peek(2), 297);
+        assert_eq!(m.peek(3), 11);
+        // 2 surviving cells for pid 0, 2 for pid 1.
+        assert_eq!(m.stats().writes, 4);
+    }
+
+    #[test]
+    fn dedup_hash_path_many_distinct_then_duplicates() {
+        // > 16 distinct cells forces the generation-stamped map; a second
+        // burst to the same cells in the same step must keep last values.
+        let mut m = Machine::new(Model::Erew, 64);
+        m.step(1, |ctx| {
+            for a in 0..32usize {
+                ctx.write(a, a as Word);
+            }
+            for a in 0..32usize {
+                ctx.write(a, 100 + a as Word);
+            }
+        })
+        .unwrap();
+        for a in 0..32usize {
+            assert_eq!(m.peek(a), 100 + a as Word);
+        }
+        assert_eq!(m.stats().writes, 32);
+        // Run again to confirm the generation counter isolates steps.
+        m.step(1, |ctx| {
+            for a in 0..32usize {
+                ctx.write(a, 500 + a as Word);
+            }
+        })
+        .unwrap();
+        assert_eq!(m.peek(31), 531);
+        assert_eq!(m.stats().writes, 64);
     }
 
     #[test]
@@ -492,10 +854,31 @@ mod tests {
     }
 
     #[test]
+    fn failed_common_step_rolls_back_partial_writes() {
+        // pid 0 writes cell 0 (applied in-place), then the mismatch at
+        // cell 1 must roll it back.
+        let mut m = Machine::new(Model::CrcwCommon, 2);
+        m.poke(0, 7);
+        let err = m.step(2, |ctx| {
+            if ctx.pid() == 0 {
+                ctx.write(0, 99);
+            }
+            ctx.write(1, ctx.pid() as Word);
+        });
+        assert!(matches!(
+            err,
+            Err(PramError::CommonValueMismatch { addr: 1, .. })
+        ));
+        assert_eq!(m.peek(0), 7, "applied prefix must be rolled back");
+        assert_eq!(m.peek(1), 0);
+    }
+
+    #[test]
     fn fast_mode_skips_checks_resolves_by_pid() {
         let mut m = Machine::new_fast(Model::Erew, 1);
         // Illegal on EREW, but fast mode doesn't look.
-        m.step(4, |ctx| ctx.write(0, ctx.pid() as Word + 50)).unwrap();
+        m.step(4, |ctx| ctx.write(0, ctx.pid() as Word + 50))
+            .unwrap();
         assert_eq!(m.peek(0), 50);
         assert_eq!(m.stats().reads, 0, "fast mode does not count reads");
     }
@@ -528,6 +911,34 @@ mod tests {
     }
 
     #[test]
+    fn determinism_across_pool_sizes_large_step() {
+        // Large enough for several execution chunks; CRCW-priority
+        // collisions must still resolve identically on 1..=4 threads.
+        let run = |threads: usize| -> Vec<Word> {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    let mut m = Machine::new_fast(Model::CrcwPriority, 1 << 12);
+                    for r in 0..4u64 {
+                        m.step(1 << 12, move |ctx| {
+                            let t = (ctx.pid() as u64).wrapping_mul(2654435761 + r) % (1 << 12);
+                            let v = ctx.read(t as usize);
+                            ctx.write(t as usize, v.wrapping_add(ctx.pid() as u64));
+                        })
+                        .unwrap();
+                    }
+                    m.memory().to_vec()
+                })
+        };
+        let want = run(1);
+        for t in [2, 3, 4] {
+            assert_eq!(run(t), want, "threads={t}");
+        }
+    }
+
+    #[test]
     fn alloc_and_regions() {
         let mut m = Machine::new(Model::Erew, 0);
         let a = m.alloc(4);
@@ -538,6 +949,22 @@ mod tests {
         assert_eq!(m.region_slice(a), &[1, 2, 3, 4]);
         assert_eq!(m.region_slice(b), &[9, 9]);
         assert_eq!(m.peek(4), 9);
+    }
+
+    #[test]
+    fn alloc_after_steps_grows_stamps() {
+        // Memory grown after the stamp arrays were sized must still be
+        // conflict-checked correctly.
+        let mut m = Machine::new(Model::Erew, 2);
+        m.step(2, |ctx| ctx.write(ctx.pid(), 1)).unwrap();
+        let r = m.alloc(4);
+        m.step(2, |ctx| {
+            r.set(ctx, ctx.pid(), 5);
+        })
+        .unwrap();
+        assert_eq!(m.region_slice(r), &[5, 5, 0, 0]);
+        let err = m.step(2, |ctx| ctx.write(r.addr(0), ctx.pid() as Word));
+        assert!(matches!(err, Err(PramError::WriteConflict { .. })));
     }
 
     #[test]

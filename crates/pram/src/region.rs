@@ -48,7 +48,11 @@ impl Region {
     /// caught at the callsite rather than surfacing as machine faults.
     #[inline]
     pub fn addr(&self, i: usize) -> usize {
-        assert!(i < self.len, "region index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "region index {i} out of bounds (len {})",
+            self.len
+        );
         self.base + i
     }
 

@@ -29,10 +29,22 @@ impl Stats {
     /// taken out of order).
     pub fn since(&self, earlier: &Stats) -> Stats {
         Stats {
-            steps: self.steps.checked_sub(earlier.steps).expect("steps went backwards"),
-            work: self.work.checked_sub(earlier.work).expect("work went backwards"),
-            reads: self.reads.checked_sub(earlier.reads).expect("reads went backwards"),
-            writes: self.writes.checked_sub(earlier.writes).expect("writes went backwards"),
+            steps: self
+                .steps
+                .checked_sub(earlier.steps)
+                .expect("steps went backwards"),
+            work: self
+                .work
+                .checked_sub(earlier.work)
+                .expect("work went backwards"),
+            reads: self
+                .reads
+                .checked_sub(earlier.reads)
+                .expect("reads went backwards"),
+            writes: self
+                .writes
+                .checked_sub(earlier.writes)
+                .expect("writes went backwards"),
         }
     }
 }
@@ -53,25 +65,52 @@ mod tests {
 
     #[test]
     fn since_subtracts() {
-        let a = Stats { steps: 10, work: 100, reads: 50, writes: 40 };
-        let b = Stats { steps: 4, work: 30, reads: 20, writes: 10 };
+        let a = Stats {
+            steps: 10,
+            work: 100,
+            reads: 50,
+            writes: 40,
+        };
+        let b = Stats {
+            steps: 4,
+            work: 30,
+            reads: 20,
+            writes: 10,
+        };
         assert_eq!(
             a.since(&b),
-            Stats { steps: 6, work: 70, reads: 30, writes: 30 }
+            Stats {
+                steps: 6,
+                work: 70,
+                reads: 30,
+                writes: 30
+            }
         );
     }
 
     #[test]
     #[should_panic(expected = "went backwards")]
     fn since_out_of_order_panics() {
-        let a = Stats { steps: 1, ..Stats::default() };
-        let b = Stats { steps: 2, ..Stats::default() };
+        let a = Stats {
+            steps: 1,
+            ..Stats::default()
+        };
+        let b = Stats {
+            steps: 2,
+            ..Stats::default()
+        };
         let _ = a.since(&b);
     }
 
     #[test]
     fn display_lists_counters() {
-        let s = Stats { steps: 1, work: 2, reads: 3, writes: 4 }.to_string();
+        let s = Stats {
+            steps: 1,
+            work: 2,
+            reads: 3,
+            writes: 4,
+        }
+        .to_string();
         assert!(s.contains("steps=1") && s.contains("writes=4"));
     }
 }

@@ -67,7 +67,12 @@ mod tests {
         let mut t = Trace::default();
         assert!(t.is_empty());
         for p in [4usize, 8, 2] {
-            t.push(StepTrace { procs: p, reads: 1, writes: 1, failed: false });
+            t.push(StepTrace {
+                procs: p,
+                reads: 1,
+                writes: 1,
+                failed: false,
+            });
         }
         assert_eq!(t.len(), 3);
         assert_eq!(t.work_in(0..2), 12);

@@ -66,8 +66,14 @@ fn main() {
             let mut seen = std::collections::HashSet::new();
             v.iter().all(|p| seen.insert(p.tail) && seen.insert(p.head))
         };
-        assert!(disjoint(&fwd), "forward set at level {level} is not a matching");
-        assert!(disjoint(&bwd), "backward set at level {level} is not a matching");
+        assert!(
+            disjoint(&fwd),
+            "forward set at level {level} is not a matching"
+        );
+        assert!(
+            disjoint(&bwd),
+            "backward set at level {level} is not a matching"
+        );
     }
 
     println!();

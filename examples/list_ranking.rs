@@ -33,10 +33,20 @@ fn main() {
     let t_wy = t.elapsed();
 
     assert_eq!(ours.ranks, wy.ranks, "the two rankings must agree");
-    assert_eq!(ours.ranks, list.ranks_seq(), "and match the sequential walk");
+    assert_eq!(
+        ours.ranks,
+        list.ranks_seq(),
+        "and match the sequential walk"
+    );
 
-    println!("  matching contraction: {} levels, {:>9} node-visits, {t_ours:.2?}", ours.levels, ours.work);
-    println!("  Wyllie jumping:       {} rounds, {:>9} node-visits, {t_wy:.2?}", wy.rounds, wy.work);
+    println!(
+        "  matching contraction: {} levels, {:>9} node-visits, {t_ours:.2?}",
+        ours.levels, ours.work
+    );
+    println!(
+        "  Wyllie jumping:       {} rounds, {:>9} node-visits, {t_wy:.2?}",
+        wy.rounds, wy.work
+    );
     println!(
         "  work ratio (Wyllie / contraction): {:.2}× — the log n factor the paper's matching removes",
         wy.work as f64 / ours.work as f64

@@ -62,8 +62,7 @@ fn main() {
             if rows > n {
                 continue;
             }
-            let out =
-                match4_pram(&list, i, Some(rows), CoinVariant::Msb, ExecMode::Fast).unwrap();
+            let out = match4_pram(&list, i, Some(rows), CoinVariant::Msb, ExecMode::Fast).unwrap();
             println!(
                 "{:>6} {:>8} | {:>9} {:>11} | {:>12.2}",
                 i,

@@ -36,12 +36,18 @@ fn main() {
     let t = Instant::now();
     let out = match1(&list, CoinVariant::Msb);
     report("Match1 (coin tossing)", &out.matching, t.elapsed());
-    println!("      converged in {} rounds to labels < {}", out.rounds, out.final_bound);
+    println!(
+        "      converged in {} rounds to labels < {}",
+        out.rounds, out.final_bound
+    );
 
     let t = Instant::now();
     let out = match2(&list, 2, CoinVariant::Msb);
     report("Match2 (sort + sweep)", &out.matching, t.elapsed());
-    println!("      {} matching sets after 2 rounds", out.partition.distinct_sets());
+    println!(
+        "      {} matching sets after 2 rounds",
+        out.partition.distinct_sets()
+    );
 
     let t = Instant::now();
     let out = match3(&list, Match3Config::default()).expect("table fits");

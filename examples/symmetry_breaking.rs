@@ -11,8 +11,8 @@
 //! cargo run --release --example symmetry_breaking [n]
 //! ```
 
-use parmatch::apps::{is_maximal_independent_set, mis_via_match4};
 use parmatch::apps::color3::color3_via_match4;
+use parmatch::apps::{is_maximal_independent_set, mis_via_match4};
 use parmatch::baselines::cv::{cv_color3, node_coloring_is_proper};
 use parmatch::baselines::randomized_matching;
 use parmatch::core::CoinVariant;

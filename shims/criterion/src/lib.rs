@@ -1,0 +1,286 @@
+//! Offline stand-in for the subset of
+//! [criterion](https://crates.io/crates/criterion) this workspace uses.
+//!
+//! The build environment has no network access, so the real crate cannot
+//! be fetched. This shim keeps the bench files compiling and running
+//! (`cargo bench` with `harness = false`) under the same API:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark warms up for
+//! ~0.3 s, then runs `sample_size` samples of a calibrated batch and
+//! reports the median ns/iter (plus min and max across samples, and
+//! elements/s when a [`Throughput`] is set). There is no statistical
+//! regression analysis, HTML report, or saved baseline — when numbers
+//! matter, the experiment driver (`crates/bench/src/bin/experiments.rs`)
+//! is the source of truth.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(300);
+const SAMPLE_TARGET: Duration = Duration::from_millis(60);
+
+/// Per-iteration timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    /// Total elapsed across the timed batch of the current sample.
+    sample_elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `iters_per_sample` times back to back.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.sample_elapsed = start.elapsed();
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl ToString, parameter: impl ToString) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.to_string(), parameter.to_string()),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl ToString) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Work per iteration, used to derive a rate from the measured time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level handle mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Honor the `--test` flag cargo passes when bench targets run under
+    /// `cargo test`: execute each benchmark once instead of measuring.
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl ToString) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        println!("\n== group {name} ==");
+        let test_mode = self.test_mode;
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            throughput: None,
+            test_mode,
+        }
+    }
+
+    /// Finalize (no-op in the shim; real criterion prints a summary).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut f);
+        self
+    }
+
+    /// Run a benchmark against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Close the group (kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if self.test_mode {
+            let mut b = Bencher {
+                iters_per_sample: 1,
+                sample_elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("{}/{id}: ok (test mode, 1 iteration)", self.name);
+            return;
+        }
+        // Calibrate: run single iterations until WARMUP elapses, deriving
+        // iters-per-sample so one sample lasts roughly SAMPLE_TARGET.
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            sample_elapsed: Duration::ZERO,
+        };
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut warm_spent = Duration::ZERO;
+        while warm_spent < WARMUP {
+            f(&mut b);
+            warm_iters += 1;
+            warm_spent = warm_start.elapsed();
+        }
+        let per_iter = warm_spent.as_secs_f64() / warm_iters as f64;
+        let iters_per_sample =
+            ((SAMPLE_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters_per_sample,
+                sample_elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples_ns.push(b.sample_elapsed.as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = samples_ns[samples_ns.len() / 2];
+        let lo = samples_ns[0];
+        let hi = samples_ns[samples_ns.len() - 1];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(e)) => {
+                format!("  {:>10.3} Melem/s", e as f64 / median * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:>10.3} MiB/s",
+                    n as f64 / median * 1e9 / (1024.0 * 1024.0) / 1e6
+                )
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id:<32} {:>14} ns/iter  [{:.0} .. {:.0}]{rate}",
+            self.name,
+            format_ns(median),
+            lo,
+            hi
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else {
+        format!("{:.0}", ns)
+    }
+}
+
+/// Bundle benchmark functions under a group name, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("2^10").id, "2^10");
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            iters_per_sample: 100,
+            sample_elapsed: Duration::ZERO,
+        };
+        b.iter(|| black_box(3u64.wrapping_mul(7)));
+        assert!(b.sample_elapsed > Duration::ZERO);
+    }
+}

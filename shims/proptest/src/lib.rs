@@ -1,0 +1,469 @@
+//! Offline stand-in for the subset of
+//! [proptest](https://crates.io/crates/proptest) this workspace uses.
+//!
+//! The build environment has no network access, so the real crate cannot
+//! be fetched. This shim keeps the same testing *shape* — the
+//! [`proptest!`] and [`prop_compose!`] macros, `any::<T>()` and integer
+//! range strategies, `prop_assert*` / `prop_assume!` — backed by a
+//! simple random test runner:
+//!
+//! * each test runs `cases` random cases (default 256, override with the
+//!   `PROPTEST_CASES` env var, or `ProptestConfig::with_cases` in the
+//!   block header);
+//! * the RNG seed is derived from the test name, so runs are
+//!   deterministic by default; set `PROPTEST_SEED` to explore a
+//!   different stream;
+//! * on failure the test panics with the assertion message and the case
+//!   number — there is **no shrinking**, so re-running with the same
+//!   seed reproduces the failure but does not minimize it.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------
+// Runner RNG (SplitMix64 — small, deterministic, dependency-free)
+// ---------------------------------------------------------------------
+
+/// The runner's random source, passed to every strategy.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let x = self.next_u64();
+            if x <= zone {
+                return x % bound;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+/// A generator of random values — the shim's counterpart of
+/// `proptest::strategy::Strategy` (no shrink tree; `pick` draws one
+/// value).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draw one value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "uniform over the whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one uniformly random value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `Just(v)` — a strategy that always yields a clone of `v`.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn pick(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u32, u64, usize);
+
+/// Strategy built from a closure — what [`prop_compose!`] expands to.
+pub struct FnStrategy<F> {
+    f: F,
+}
+
+impl<F, T> FnStrategy<F>
+where
+    F: Fn(&mut TestRng) -> T,
+{
+    /// Wrap a draw function.
+    pub fn new(f: F) -> Self {
+        FnStrategy { f }
+    }
+}
+
+impl<F, T> Strategy for FnStrategy<F>
+where
+    F: Fn(&mut TestRng) -> T,
+{
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------
+
+/// Per-block runner configuration (`ProptestConfig` upstream).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — the case is skipped, not failed.
+    Reject(String),
+    /// A `prop_assert*` failed — the whole test fails.
+    Fail(String),
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+fn name_seed(name: &str) -> u64 {
+    // FNV-1a over the test path, mixed with an optional PROPTEST_SEED.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ env_u64("PROPTEST_SEED").unwrap_or(0)
+}
+
+/// Drive one property: run up to `cases` accepted random cases (an
+/// assume-rejection retries with fresh randomness, bounded by a global
+/// attempt cap), panicking on the first failing case.
+pub fn run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases = env_u64("PROPTEST_CASES")
+        .map(|c| c as u32)
+        .unwrap_or(config.cases);
+    let base = name_seed(name);
+    let max_attempts = (cases as u64).saturating_mul(20).max(64);
+    let mut accepted = 0u32;
+    let mut attempt = 0u64;
+    while accepted < cases {
+        if attempt >= max_attempts {
+            panic!(
+                "proptest {name}: gave up after {attempt} attempts \
+                 ({accepted}/{cases} cases accepted) — assume rejects too much"
+            );
+        }
+        let mut rng =
+            TestRng::from_seed(base.wrapping_add(attempt.wrapping_mul(0xA076_1D64_78BD_642F)));
+        attempt += 1;
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {name}: case {} (attempt {}) failed: {msg}\n\
+                     (re-run with PROPTEST_SEED unset to reproduce deterministically)",
+                    accepted + 1,
+                    attempt
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Define property tests: each `fn name(pat in strategy, ...)` becomes a
+/// `#[test]` running [`run_property`] over random draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{@block ($cfg) $($rest)*}
+    };
+    (@block ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($p:ident in $s:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(clippy::redundant_closure_call)]
+                $crate::run_property(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &$cfg,
+                    |__proptest_rng: &mut $crate::TestRng| {
+                        $(let $p = $crate::Strategy::pick(&($s), __proptest_rng);)*
+                        let mut __proptest_case =
+                            || -> ::std::result::Result<(), $crate::TestCaseError> {
+                                $body
+                                Ok(())
+                            };
+                        __proptest_case()
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{@block (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)*}
+    };
+}
+
+/// Define a named composite strategy as a function returning
+/// `impl Strategy`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($arg:ident: $argty:ty),* $(,)?)
+         ($($p:ident in $s:expr),* $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::FnStrategy::new(move |__proptest_rng: &mut $crate::TestRng| {
+                $(let $p = $crate::Strategy::pick(&($s), __proptest_rng);)*
+                $body
+            })
+        }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)*)),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), format!($($fmt)*), l, r
+            )));
+        }
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Skip the current case unless `cond` holds (draws a replacement).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// What `use proptest::prelude::*` is expected to bring in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        /// A pair (n, multiple-of-n) built from two draws.
+        fn multiple_strategy()(n in 1u64..50, k in 0u64..10) -> (u64, u64) {
+            (n, n * k)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(a in 10usize..20, b in 5u32..=7) {
+            prop_assert!((10..20).contains(&a));
+            prop_assert!((5..=7).contains(&b));
+        }
+
+        #[test]
+        fn assume_skips(x in any::<u64>()) {
+            prop_assume!(x.is_multiple_of(2));
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn composed_strategy_used(pair in multiple_strategy()) {
+            let (n, m) = pair;
+            prop_assert_eq!(m % n, 0, "m={} n={}", m, n);
+        }
+
+        #[test]
+        fn ne_and_just(x in Just(41u64)) {
+            prop_assert_ne!(x, 40);
+            prop_assert_eq!(x + 1, 42);
+        }
+    }
+
+    #[test]
+    fn deterministic_seeding() {
+        let mut a = crate::TestRng::from_seed(1);
+        let mut b = crate::TestRng::from_seed(1);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failures_panic() {
+        crate::run_property("failures_panic", &ProptestConfig::with_cases(4), |rng| {
+            let x = rng.next_u64();
+            Err(crate::TestCaseError::Fail(format!("x={x}")))
+        });
+    }
+}

@@ -1,0 +1,763 @@
+//! Exactly-sized parallel pipelines evaluated by ordered chunking.
+//!
+//! Every source knows its length and can split at an index; adapters
+//! preserve splittability by sharing their closure behind an [`Arc`].
+//! A consumer asks the executor to split the pipeline into contiguous
+//! chunks, evaluates each chunk sequentially on a scoped thread, and
+//! combines the chunk results in source order, which makes every
+//! consumer deterministic regardless of thread count.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------
+
+/// Split `p` into at most `chunks` pieces, evaluate each with `eval`
+/// (on scoped threads when `chunks > 1`) and return the results in
+/// source order.
+fn map_chunks<P, R, E>(p: P, chunks: usize, eval: &E) -> Vec<R>
+where
+    P: ParallelIterator,
+    R: Send,
+    E: Fn(P) -> R + Sync,
+{
+    let len = p.par_len();
+    if chunks <= 1 || len <= 1 {
+        return vec![eval(p)];
+    }
+    let lc = chunks / 2;
+    let rc = chunks - lc;
+    let mid = len * lc / chunks;
+    if mid == 0 || mid == len {
+        return vec![eval(p)];
+    }
+    let (l, r) = p.split_at(mid);
+    std::thread::scope(|s| {
+        let hr = s.spawn(move || map_chunks(r, rc, eval));
+        let mut lv = map_chunks(l, lc, eval);
+        let rv = hr.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        lv.extend(rv);
+        lv
+    })
+}
+
+fn plan_chunks<P: ParallelIterator>(p: &P) -> usize {
+    let threads = crate::current_num_threads();
+    let min_len = p.min_len_hint().max(1);
+    let len = p.par_len();
+    if threads <= 1 || len < 2 * min_len {
+        1
+    } else {
+        threads.min(len / min_len).max(1)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The pipeline trait
+// ---------------------------------------------------------------------
+
+/// An exactly-sized, splittable, sequentially-drivable pipeline — the
+/// shim's counterpart of rayon's `IndexedParallelIterator`.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+
+    /// Exact number of *source* positions left (adapters that shrink or
+    /// grow per position, like `filter` / `flat_map_iter`, still split
+    /// by source position).
+    fn par_len(&self) -> usize;
+
+    /// Split into the first `index` source positions and the rest.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Evaluate sequentially, feeding every item to `sink`.
+    fn drive<F: FnMut(Self::Item)>(self, sink: F);
+
+    /// Minimum elements a chunk should hold (set via [`Self::with_min_len`]).
+    fn min_len_hint(&self) -> usize {
+        1
+    }
+
+    /// Hint the executor to keep at least `min` source positions per
+    /// chunk.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen { base: self, min }
+    }
+
+    /// Map each item through `f`.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Send + Sync,
+    {
+        Map {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Keep the items for which `f` returns true.
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        Filter {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Pair each item with its global index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Map each item through `f`, keeping only the `Some` results.
+    fn filter_map<U, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> Option<U> + Send + Sync,
+    {
+        FilterMap {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Map each item to a sequential iterator and flatten, in order.
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(Self::Item) -> U + Send + Sync,
+    {
+        FlatMapIter {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Copy out of an iterator over references.
+    fn copied<'a, T>(self) -> Copied<Self>
+    where
+        T: 'a + Copy + Send + Sync,
+        Self: ParallelIterator<Item = &'a T>,
+    {
+        Copied { base: self }
+    }
+
+    /// Run `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let chunks = plan_chunks(&self);
+        map_chunks(self, chunks, &|c: Self| c.drive(&f));
+    }
+
+    /// Number of items produced.
+    fn count(self) -> usize {
+        let chunks = plan_chunks(&self);
+        map_chunks(self, chunks, &|c: Self| {
+            let mut n = 0usize;
+            c.drive(|_| n += 1);
+            n
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// True iff `f` holds for every item.
+    fn all<F>(self, f: F) -> bool
+    where
+        F: Fn(Self::Item) -> bool + Send + Sync,
+    {
+        let chunks = plan_chunks(&self);
+        map_chunks(self, chunks, &|c: Self| {
+            let mut ok = true;
+            c.drive(|x| ok &= f(x));
+            ok
+        })
+        .into_iter()
+        .all(|b| b)
+    }
+
+    /// True iff `f` holds for some item.
+    fn any<F>(self, f: F) -> bool
+    where
+        F: Fn(Self::Item) -> bool + Send + Sync,
+    {
+        let chunks = plan_chunks(&self);
+        map_chunks(self, chunks, &|c: Self| {
+            let mut hit = false;
+            c.drive(|x| hit |= f(x));
+            hit
+        })
+        .into_iter()
+        .any(|b| b)
+    }
+
+    /// Largest item, if any.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        let chunks = plan_chunks(&self);
+        map_chunks(self, chunks, &|c: Self| {
+            let mut best: Option<Self::Item> = None;
+            c.drive(|x| {
+                if best.as_ref().is_none_or(|b| x > *b) {
+                    best = Some(x);
+                }
+            });
+            best
+        })
+        .into_iter()
+        .flatten()
+        .max()
+    }
+
+    /// Smallest item, if any.
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        let chunks = plan_chunks(&self);
+        map_chunks(self, chunks, &|c: Self| {
+            let mut best: Option<Self::Item> = None;
+            c.drive(|x| {
+                if best.as_ref().is_none_or(|b| x < *b) {
+                    best = Some(x);
+                }
+            });
+            best
+        })
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    /// Sum of all items.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        let chunks = plan_chunks(&self);
+        map_chunks(self, chunks, &|c: Self| {
+            let mut acc: Vec<Self::Item> = Vec::new();
+            c.drive(|x| acc.push(x));
+            acc.into_iter().sum::<S>()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Collect into `C` (ordered).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection types constructible from a parallel pipeline.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build the collection, preserving source order.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self {
+        let chunks = plan_chunks(&p);
+        let parts = map_chunks(p, chunks, &|c: P| {
+            let mut v = Vec::with_capacity(c.par_len());
+            c.drive(|x| v.push(x));
+            v
+        });
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------
+
+/// See [`ParallelIterator::with_min_len`].
+pub struct MinLen<B> {
+    base: B,
+    min: usize,
+}
+
+impl<B: ParallelIterator> ParallelIterator for MinLen<B> {
+    type Item = B::Item;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Self {
+                base: l,
+                min: self.min,
+            },
+            Self {
+                base: r,
+                min: self.min,
+            },
+        )
+    }
+    fn drive<F: FnMut(Self::Item)>(self, sink: F) {
+        self.base.drive(sink)
+    }
+    fn min_len_hint(&self) -> usize {
+        self.min.max(self.base.min_len_hint())
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct Map<B, F> {
+    base: B,
+    f: Arc<F>,
+}
+
+impl<B, F, U> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    U: Send,
+    F: Fn(B::Item) -> U + Send + Sync,
+{
+    type Item = U;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Self {
+                base: l,
+                f: Arc::clone(&self.f),
+            },
+            Self { base: r, f: self.f },
+        )
+    }
+    fn drive<G: FnMut(Self::Item)>(self, mut sink: G) {
+        let f = self.f;
+        self.base.drive(|x| sink(f(x)));
+    }
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+}
+
+/// See [`ParallelIterator::filter`].
+pub struct Filter<B, F> {
+    base: B,
+    f: Arc<F>,
+}
+
+impl<B, F> ParallelIterator for Filter<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(&B::Item) -> bool + Send + Sync,
+{
+    type Item = B::Item;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Self {
+                base: l,
+                f: Arc::clone(&self.f),
+            },
+            Self { base: r, f: self.f },
+        )
+    }
+    fn drive<G: FnMut(Self::Item)>(self, mut sink: G) {
+        let f = self.f;
+        self.base.drive(|x| {
+            if f(&x) {
+                sink(x);
+            }
+        });
+    }
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+}
+
+/// See [`ParallelIterator::filter_map`].
+pub struct FilterMap<B, F> {
+    base: B,
+    f: Arc<F>,
+}
+
+impl<B, F, U> ParallelIterator for FilterMap<B, F>
+where
+    B: ParallelIterator,
+    U: Send,
+    F: Fn(B::Item) -> Option<U> + Send + Sync,
+{
+    type Item = U;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Self {
+                base: l,
+                f: Arc::clone(&self.f),
+            },
+            Self { base: r, f: self.f },
+        )
+    }
+    fn drive<G: FnMut(Self::Item)>(self, mut sink: G) {
+        let f = self.f;
+        self.base.drive(|x| {
+            if let Some(y) = f(x) {
+                sink(y);
+            }
+        });
+    }
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<B> {
+    base: B,
+    offset: usize,
+}
+
+impl<B: ParallelIterator> ParallelIterator for Enumerate<B> {
+    type Item = (usize, B::Item);
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Self {
+                base: l,
+                offset: self.offset,
+            },
+            Self {
+                base: r,
+                offset: self.offset + index,
+            },
+        )
+    }
+    fn drive<F: FnMut(Self::Item)>(self, mut sink: F) {
+        let mut i = self.offset;
+        self.base.drive(|x| {
+            sink((i, x));
+            i += 1;
+        });
+    }
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+}
+
+/// See [`ParallelIterator::flat_map_iter`].
+pub struct FlatMapIter<B, F> {
+    base: B,
+    f: Arc<F>,
+}
+
+impl<B, F, U> ParallelIterator for FlatMapIter<B, F>
+where
+    B: ParallelIterator,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(B::Item) -> U + Send + Sync,
+{
+    type Item = U::Item;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Self {
+                base: l,
+                f: Arc::clone(&self.f),
+            },
+            Self { base: r, f: self.f },
+        )
+    }
+    fn drive<G: FnMut(Self::Item)>(self, mut sink: G) {
+        let f = self.f;
+        self.base.drive(|x| {
+            for y in f(x) {
+                sink(y);
+            }
+        });
+    }
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+}
+
+/// See [`ParallelIterator::copied`].
+pub struct Copied<B> {
+    base: B,
+}
+
+impl<'a, T, B> ParallelIterator for Copied<B>
+where
+    T: 'a + Copy + Send + Sync,
+    B: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (Self { base: l }, Self { base: r })
+    }
+    fn drive<F: FnMut(Self::Item)>(self, mut sink: F) {
+        self.base.drive(|x| sink(*x));
+    }
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    start: T,
+    end: T,
+}
+
+macro_rules! range_source {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            fn par_len(&self) -> usize {
+                (self.end - self.start) as usize
+            }
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.start + index as $t;
+                (Self { start: self.start, end: mid }, Self { start: mid, end: self.end })
+            }
+            fn drive<F: FnMut(Self::Item)>(self, mut sink: F) {
+                for v in self.start..self.end {
+                    sink(v);
+                }
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> Self::Iter {
+                RangeIter { start: self.start, end: self.end.max(self.start) }
+            }
+        }
+    )*};
+}
+
+range_source!(u32, u64, usize);
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (Self { slice: l }, Self { slice: r })
+    }
+    fn drive<F: FnMut(Self::Item)>(self, mut sink: F) {
+        for x in self.slice {
+            sink(x);
+        }
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct SliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (Self { slice: l }, Self { slice: r })
+    }
+    fn drive<F: FnMut(Self::Item)>(self, mut sink: F) {
+        for x in self.slice {
+            sink(x);
+        }
+    }
+}
+
+/// Parallel iterator consuming a `Vec<T>`.
+pub struct VecIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn par_len(&self) -> usize {
+        self.vec.len()
+    }
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.vec.split_off(index);
+        (Self { vec: self.vec }, Self { vec: tail })
+    }
+    fn drive<F: FnMut(Self::Item)>(self, mut sink: F) {
+        for x in self.vec {
+            sink(x);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Conversion traits
+// ---------------------------------------------------------------------
+
+/// Types convertible into a parallel pipeline by value.
+pub trait IntoParallelIterator {
+    /// The pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> Self::Iter {
+        VecIter { vec: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut [T] {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut Vec<T> {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIterMut {
+            slice: self.as_mut_slice(),
+        }
+    }
+}
+
+/// `par_iter()` — borrow a collection as a parallel pipeline.
+pub trait IntoParallelRefIterator<'data> {
+    /// The pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send + 'data;
+    /// Borrowing conversion.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
+where
+    &'data T: IntoParallelIterator,
+{
+    type Iter = <&'data T as IntoParallelIterator>::Iter;
+    type Item = <&'data T as IntoParallelIterator>::Item;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut()` — mutably borrow a collection as a parallel
+/// pipeline.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send + 'data;
+    /// Mutably borrowing conversion.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefMutIterator<'data> for T
+where
+    &'data mut T: IntoParallelIterator,
+{
+    type Iter = <&'data mut T as IntoParallelIterator>::Iter;
+    type Item = <&'data mut T as IntoParallelIterator>::Item;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Sorting entry points on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// View as a mutable slice.
+    fn as_parallel_slice_mut(&mut self) -> &mut [T];
+
+    /// Sort (unstable). The shim sorts sequentially — deterministic and
+    /// identical in outcome to the real crate's `par_sort_unstable` for
+    /// totally-ordered element types.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.as_parallel_slice_mut().sort_unstable();
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T] {
+        self
+    }
+}

@@ -1,0 +1,246 @@
+//! Offline stand-in for the subset of [rayon](https://crates.io/crates/rayon)
+//! this workspace uses.
+//!
+//! The build environment has no network access, so the real crate cannot
+//! be fetched. This shim re-implements, on top of `std::thread::scope`,
+//! exactly the surface the workspace calls:
+//!
+//! * `prelude::*` — `ParallelIterator` with the adapters
+//!   `map` / `filter` / `enumerate` / `copied` / `flat_map_iter` /
+//!   `with_min_len` and the consumers `collect` / `for_each` / `count` /
+//!   `all` / `any` / `max` / `min` / `sum`;
+//! * sources: integer ranges (`into_par_iter`), slices and `Vec`s
+//!   (`par_iter`, `par_iter_mut`, `into_par_iter`);
+//! * `ParallelSliceMut::par_sort_unstable` (sequential pdqsort under the
+//!   hood — deterministic and allocation-free, the call sites are not on
+//!   the hot path);
+//! * [`join`], [`current_num_threads`], and
+//!   [`ThreadPoolBuilder`] / [`ThreadPool::install`] (implemented as a
+//!   scoped thread-count override consulted by the executor, which is
+//!   what the workspace's determinism tests exercise).
+//!
+//! Execution model: a consumer splits its (always exactly-sized) pipeline
+//! into at most [`current_num_threads`] contiguous chunks of at least
+//! `with_min_len` elements and evaluates them on scoped threads, then
+//! combines chunk results **in source order** — so `collect` preserves
+//! ordering and every consumer is deterministic, like the real rayon's
+//! indexed pipelines. Thread spawn cost (rather than a persistent pool)
+//! is amortized by the chunk-size floor.
+
+use std::cell::Cell;
+use std::fmt;
+
+pub mod iter;
+
+pub use iter::{
+    FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+    IntoParallelRefMutIterator, ParallelIterator, ParallelSliceMut,
+};
+
+/// The traits a `use rayon::prelude::*` is expected to bring in scope.
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The number of threads parallel work may use on this thread: the
+/// innermost [`ThreadPool::install`] override, or the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    THREAD_OVERRIDE
+        .with(|c| c.get())
+        .unwrap_or_else(default_threads)
+}
+
+/// Run `a` and `b`, potentially in parallel, and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        (ra, b())
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            let rb = hb.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+            (ra, rb)
+        })
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the `num_threads` +
+/// `build` + `install` pattern.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (the shim cannot fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with default (machine) parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the pool at `n` threads; `0` means the default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the (virtual) pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => default_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A virtual pool: a thread-count limit that [`ThreadPool::install`]
+/// puts in force for the duration of a closure.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread-count limit.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with this pool's thread count in force (for work
+    /// spawned from the calling thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREAD_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let prev = THREAD_OVERRIDE.with(|c| c.replace(Some(self.num_threads)));
+        let _restore = Restore(prev);
+        op()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 1);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i));
+    }
+
+    #[test]
+    fn adapters_compose() {
+        let v: Vec<u32> = (0u32..1000)
+            .into_par_iter()
+            .filter(|x| x % 3 == 0)
+            .collect();
+        assert_eq!(v[1], 3);
+        assert_eq!(v.len(), 334);
+        let e: Vec<(usize, u32)> = (0u32..1000)
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, x)| (i, x * 2))
+            .collect();
+        assert_eq!(e[7], (7, 14));
+        let total: usize = (0..1000usize).into_par_iter().count();
+        assert_eq!(total, 1000);
+        assert!((0..100usize).into_par_iter().all(|x| x < 100));
+        assert!((0..100usize).into_par_iter().any(|x| x == 99));
+        assert_eq!((0..100u64).into_par_iter().max(), Some(99));
+        assert_eq!((5..100u64).into_par_iter().min(), Some(5));
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let v: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .flat_map_iter(|x| (0..x % 3).map(move |k| x * 10 + k))
+            .collect();
+        let want: Vec<usize> = (0..100usize)
+            .flat_map(|x| (0..x % 3).map(move |k| x * 10 + k))
+            .collect();
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn slices_and_mut_slices() {
+        let data: Vec<u64> = (0..5000).collect();
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled[4999], 9998);
+        assert_eq!(data.par_iter().copied().max(), Some(4999));
+
+        let mut m: Vec<u64> = vec![1; 5000];
+        m.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i as u64);
+        assert_eq!(m[1234], 1234);
+    }
+
+    #[test]
+    fn par_sort_unstable_sorts() {
+        let mut v: Vec<u64> = (0..10_000)
+            .map(|i| (i * 2_654_435_761u64) % 65_536)
+            .collect();
+        v.par_sort_unstable();
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_pipelines() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let v: Vec<usize> = pool.install(|| (0..100usize).into_par_iter().collect());
+        assert_eq!(v.len(), 100);
+    }
+}

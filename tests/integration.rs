@@ -10,9 +10,7 @@ use parmatch::apps::{
 use parmatch::baselines::cv::node_coloring_is_proper;
 use parmatch::baselines::{randomized_matching, seq_matching, wyllie_ranks};
 use parmatch::core::pram_impl::{match1_pram, match2_pram, match4_pram};
-use parmatch::core::{
-    cost, match1, match2, match3, match4, verify, CoinVariant, Match3Config,
-};
+use parmatch::core::{cost, match1, match2, match3, match4, verify, CoinVariant, Match3Config};
 use parmatch::list::{blocked_list, random_list, reversed_list, sequential_list, validate};
 use parmatch::pram::ExecMode;
 
@@ -28,7 +26,10 @@ fn every_algorithm_agrees_on_maximality_everywhere() {
                 ("seq", seq_matching(&list)),
                 ("match1", match1(&list, CoinVariant::Msb).matching),
                 ("match2", match2(&list, 2, CoinVariant::Msb).matching),
-                ("match3", match3(&list, Match3Config::default()).unwrap().matching),
+                (
+                    "match3",
+                    match3(&list, Match3Config::default()).unwrap().matching,
+                ),
                 ("match4", match4(&list, 2).matching),
                 ("random", randomized_matching(&list, seed).matching),
             ];
@@ -58,7 +59,12 @@ fn pram_step_counts_track_the_paper_curves() {
     // Match1: T_p ≈ c·n/p for p ≪ n: halving work when doubling p.
     let s: Vec<u64> = [8usize, 16, 32]
         .iter()
-        .map(|&p| match1_pram(&list, p, CoinVariant::Msb, ExecMode::Fast).unwrap().stats.steps)
+        .map(|&p| {
+            match1_pram(&list, p, CoinVariant::Msb, ExecMode::Fast)
+                .unwrap()
+                .stats
+                .steps
+        })
         .collect();
     let r1 = s[0] as f64 / s[1] as f64;
     let r2 = s[1] as f64 / s[2] as f64;
@@ -145,7 +151,12 @@ fn contraction_work_beats_wyllie_at_scale() {
     let ours = rank_by_contraction(&list, 2, CoinVariant::Msb);
     let wy = wyllie_ranks(&list);
     assert_eq!(ours.ranks, wy.ranks);
-    assert!(ours.work * 2 < wy.work, "ours {} vs wyllie {}", ours.work, wy.work);
+    assert!(
+        ours.work * 2 < wy.work,
+        "ours {} vs wyllie {}",
+        ours.work,
+        wy.work
+    );
 }
 
 #[test]

@@ -48,9 +48,14 @@ fn main() {
     }
     if json {
         let body = JSON_OUT.with(|j| j.borrow_mut().take()).unwrap_or_default();
-        let out = format!("{{\n{}\n}}\n", body.join(",\n"));
-        std::fs::write("BENCH_engine.json", &out).expect("write BENCH_engine.json");
-        println!("wrote BENCH_engine.json");
+        // Experiments that emit no top-level fields (e.g. `faults`,
+        // which writes its own artifact) must not clobber
+        // BENCH_engine.json with an empty object.
+        if !body.is_empty() {
+            let out = format!("{{\n{}\n}}\n", body.join(",\n"));
+            std::fs::write("BENCH_engine.json", &out).expect("write BENCH_engine.json");
+            println!("wrote BENCH_engine.json");
+        }
     }
 }
 
@@ -84,7 +89,69 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("e13", e13_erew_machinery),
     ("e14", e14_optimal_ranking),
     ("engine", engine_bench),
+    ("faults", e15_faults),
 ];
+
+/// E15: the fault-injection detection matrix — every fault class
+/// through every matcher under the self-checking runner, counting
+/// injected / detected-by-engine / caught-by-verifier / recovered.
+/// With `--json`, writes `BENCH_faults.json`.
+fn e15_faults() {
+    use parmatch_testkit::{fault_matrix, matrix_json, MatrixConfig};
+    println!("## E15 — fault injection: detection matrix of the self-checking matchers");
+    let cfg = MatrixConfig {
+        n: 256,
+        seed: SEED,
+        trials: 8,
+        sites_per_trial: 6,
+        retry_budget: 6,
+    };
+    let cells = fault_matrix(&cfg);
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.matcher.to_string(),
+                c.class.name().to_string(),
+                c.injected.to_string(),
+                format!("{}/{}", c.fired_trials, c.trials),
+                c.detected_by_engine.to_string(),
+                c.caught_by_verifier.to_string(),
+                c.benign.to_string(),
+                c.recovered.to_string(),
+                c.unrecovered.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "matcher",
+            "fault class",
+            "events",
+            "fired trials",
+            "engine",
+            "verifier",
+            "benign",
+            "recovered",
+            "unrecovered",
+        ],
+        &rows,
+    );
+    let unrecovered: u64 = cells.iter().map(|c| c.unrecovered).sum();
+    assert_eq!(unrecovered, 0, "retry budget must recover every trial");
+    println!(
+        "(n = {}, seed {}, {} trials × {} sites per cell; every fired fault is detected by \
+         the engine, caught by the output verifier, or benign — and bounded retry under the \
+         transient model recovers every failed run)",
+        cfg.n, cfg.seed, cfg.trials, cfg.sites_per_trial
+    );
+    let json_active = JSON_OUT.with(|j| j.borrow().is_some());
+    if json_active {
+        std::fs::write("BENCH_faults.json", matrix_json(&cfg, &cells))
+            .expect("write BENCH_faults.json");
+        println!("wrote BENCH_faults.json");
+    }
+}
 
 /// Engine benchmark: the epoch-stamped step engine (and the dense fast
 /// path) against the preserved legacy engine, plus the new engine's

@@ -34,8 +34,11 @@ COMMANDS
   steps   --algo match1|match2|match3|match4|wyllie|rank
           --n N [--p P] [--i I] [--rounds K] [--checked]
           Simulated PRAM step counts.
-  verify  --input FILE
-          Structural validation of a list file.
+  verify  (--input FILE | --faults [--n N] [--seed S] [--trials T])
+          Structural validation of a list file, or the fault-injection
+          self-check: seeded faults through every matcher, asserting
+          each is detected, caught by the verifier, or benign — and
+          that bounded retry recovers every failed run.
 ";
 
 /// CLI failure: message plus whether usage should be shown.
@@ -352,6 +355,9 @@ fn cmd_steps(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_verify(args: &Args) -> Result<String, CliError> {
+    if args.flag("faults") {
+        return cmd_verify_faults(args);
+    }
     let path = args.require("input")?;
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
@@ -363,6 +369,58 @@ fn cmd_verify(args: &Args) -> Result<String, CliError> {
         list.head(),
         list.pointer_count()
     ))
+}
+
+/// `verify --faults`: run the fault-injection detection matrix and
+/// fail loudly if any trial escapes classification or recovery.
+fn cmd_verify_faults(args: &Args) -> Result<String, CliError> {
+    use parmatch_testkit::{fault_matrix, MatrixConfig};
+    let cfg = MatrixConfig {
+        n: args.get_or("n", 96)?,
+        seed: args.get_or("seed", 42)?,
+        trials: args.get_or("trials", 4)?,
+        ..MatrixConfig::default()
+    };
+    if cfg.n < 2 {
+        return Err(CliError::new("--n must be at least 2"));
+    }
+    let cells = fault_matrix(&cfg);
+    let mut out = format!(
+        "fault self-check: n={} seed={} trials={} sites={} budget={}\n",
+        cfg.n, cfg.seed, cfg.trials, cfg.sites_per_trial, cfg.retry_budget
+    );
+    for c in &cells {
+        out.push_str(&format!(
+            "{:>7} {:<15} events={:<3} engine={} verifier={} benign={} recovered={}\n",
+            c.matcher,
+            c.class.name(),
+            c.injected,
+            c.detected_by_engine,
+            c.caught_by_verifier,
+            c.benign,
+            c.recovered,
+        ));
+        if c.unrecovered > 0 {
+            return Err(CliError::new(format!(
+                "{}/{}: {} trials UNRECOVERED after the retry budget",
+                c.matcher,
+                c.class.name(),
+                c.unrecovered
+            )));
+        }
+        if c.detected_by_engine + c.caught_by_verifier + c.benign != c.fired_trials {
+            return Err(CliError::new(format!(
+                "{}/{}: SILENT CORRUPTION — a fired trial is neither detected, caught, nor benign",
+                c.matcher,
+                c.class.name()
+            )));
+        }
+    }
+    let injected: u64 = cells.iter().map(|c| c.injected).sum();
+    out.push_str(&format!(
+        "verified: {injected} injected fault events, all detected, caught, or benign; every failed run recovered ✓\n"
+    ));
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -434,6 +492,15 @@ mod tests {
     #[test]
     fn help_prints_usage() {
         assert!(cli("help").unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn verify_faults_self_check_passes() {
+        let out = cli("verify --faults --n 48 --trials 1 --seed 5").unwrap();
+        assert!(out.contains("fault self-check"), "{out}");
+        assert!(out.contains("verified:"), "{out}");
+        assert!(out.contains("duplicate_write"), "{out}");
+        assert!(cli("verify --faults --n 1").is_err(), "n below 2 rejected");
     }
 
     #[test]

@@ -57,6 +57,69 @@ fn help_exits_0() {
     assert!(String::from_utf8(out.stdout).unwrap().contains("COMMANDS"));
 }
 
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("parmatch-bin-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn malformed_list_file_exits_2_with_parse_error() {
+    let path = write_temp("malformed.txt", "this is not a list file\n");
+    let out = parmatch(&["verify", "--input", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("error:") && stderr.contains("missing 'parmatch-list v1' header"),
+        "{stderr}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn out_of_range_index_exits_2_with_invalid_error() {
+    // node 0 points to node 9 of a 2-node list
+    let path = write_temp("oob.txt", "parmatch-list v1\nn=2 head=0\n9\n-\n");
+    let out = parmatch(&["verify", "--input", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("index out of range"), "{stderr}");
+    // the same file must fail identically through `match --input`
+    let out = parmatch(&[
+        "match",
+        "--algo",
+        "match2",
+        "--input",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn verify_faults_flag_runs_the_matrix() {
+    let out = parmatch(&["verify", "--faults", "--n", "32", "--trials", "1"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("fault self-check"), "{stdout}");
+    assert!(stdout.contains("verified:"), "{stdout}");
+}
+
+#[test]
+fn missing_required_arg_exits_2_with_stderr() {
+    let out = parmatch(&["verify"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("error:"), "{stderr}");
+
+    let out = parmatch(&["match", "--algo", "match1", "--n", "ten"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("error:"), "{stderr}");
+}
+
 #[test]
 fn steps_reports_counts() {
     let out = parmatch(&["steps", "--algo", "match4", "--n", "512", "--i", "2"]);

@@ -68,6 +68,9 @@ pub fn match2_pram(
     let mut buf = LabelBuffers::alloc(&mut m, n);
 
     // Step 1: partition.
+    if let Some(t) = m.trace_mut() {
+        t.begin_phase("partition");
+    }
     init_labels(&mut m, &lr, &buf, p)?;
     let bound = relabel_k_rounds(
         &mut m,
@@ -95,6 +98,9 @@ pub fn match2_pram(
     })?;
 
     // ---- Step 2: stable counting sort by set number ----
+    if let Some(t) = m.trace_mut() {
+        t.begin_phase("sort");
+    }
     let sort_start = m.stats().steps;
     let hist_len = (s_buckets * p).next_power_of_two();
     let hist = m.alloc(hist_len); // zeroed on alloc
@@ -135,6 +141,9 @@ pub fn match2_pram(
     }
 
     // ---- Step 3: greedy sweep over the sets ----
+    if let Some(t) = m.trace_mut() {
+        t.begin_phase("sweep");
+    }
     let done = m.alloc(n); // zeroed
     let mask = m.alloc(n); // zeroed
     for s in 0..bound as usize {

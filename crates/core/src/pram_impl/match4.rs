@@ -123,6 +123,9 @@ pub fn match4_on(
     let mut buf = LabelBuffers::alloc(m, n);
 
     // --- Step 1: partition into ≈ log^(i) n matching sets. ---
+    if let Some(t) = m.trace_mut() {
+        t.begin_phase("partition");
+    }
     // p is derived from x, which is derived from the partition bound —
     // run the relabel rounds with a provisional p equal to the final
     // one; the bound cascade is data-independent, so compute it first.
@@ -165,6 +168,9 @@ pub fn match4_on(
 
     // --- Step 2: per-column sequential counting sort. ---
     // Column c owns slots [c·x, min((c+1)·x, n)).
+    if let Some(t) = m.trace_mut() {
+        t.begin_phase("column-sort");
+    }
     let hist = m.alloc(p * x); // zeroed: per-column histogram
     let sorted = m.alloc(n); // sorted[c·x + r] = node
     let keys_sorted = m.alloc(n); // the A arrays
@@ -252,6 +258,9 @@ pub fn match4_on(
     };
 
     // --- Step 3: WalkDown1 — inter-row pointers, x lockstep rounds. ---
+    if let Some(t) = m.trace_mut() {
+        t.begin_phase("walkdown1");
+    }
     for r in 0..x {
         m.step(p, |ctx| {
             let c = ctx.pid();
@@ -272,6 +281,9 @@ pub fn match4_on(
     }
 
     // --- Step 4: WalkDown2 — intra-row pointers, 2x-1 pipelined steps. ---
+    if let Some(t) = m.trace_mut() {
+        t.begin_phase("walkdown2");
+    }
     let index = m.alloc(p); // zeroed
     let count = m.alloc(p); // zeroed
     for _k in 0..(2 * x - 1) {
@@ -301,6 +313,9 @@ pub fn match4_on(
     }
 
     // --- Step 5: greedy sweep of the 3 color classes. ---
+    if let Some(t) = m.trace_mut() {
+        t.begin_phase("sweep");
+    }
     let done = m.alloc(n); // zeroed
     let mask = m.alloc(n); // zeroed
     for cls in 0..3 as Word {

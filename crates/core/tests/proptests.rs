@@ -1,6 +1,10 @@
 //! Property-based tests: every algorithm, every layout family, every
 //! variant — output is always a maximal matching; partitions are always
 //! valid; the PRAM and native implementations agree.
+//!
+//! Two depth tiers: cheap native-only properties run at 256 cases;
+//! properties that drive the simulated PRAM (or build Match3 jump
+//! tables) under the debug-profile conflict checker stay at 48.
 
 use parmatch_core::pram_impl::{
     match1_pram, match2_pram, match3_pram, match4_pram, rank_pram, wyllie_pram,
@@ -21,7 +25,8 @@ prop_compose! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    // Cheap tier: pure word-level and native-algorithm properties.
+    #![proptest_config(ProptestConfig::with_cases(256))]
 
     /// The defining matching-partition property of f on arbitrary words.
     #[test]
@@ -50,7 +55,49 @@ proptest! {
         prop_assert!(verify::partition_is_valid(&list, &ps));
     }
 
+    /// Blocked layouts (the partially sorted family) work everywhere.
+    #[test]
+    fn blocked_layout(n in 2usize..800, block in 1usize..64, seed in any::<u64>()) {
+        let list = blocked_list(n, block, seed);
+        let m = match4_with(&list, 2, CoinVariant::Msb).matching;
+        verify::assert_maximal_matching(&list, &m);
+    }
+
+    /// Matching size always sits in the maximal band [P/3, ⌈P/2⌉].
+    #[test]
+    fn size_band(list in list_strategy()) {
+        let p = list.pointer_count();
+        for m in [
+            match1(&list, CoinVariant::Msb).matching,
+            match2(&list, 2, CoinVariant::Msb).matching,
+            match4_with(&list, 2, CoinVariant::Msb).matching,
+        ] {
+            prop_assert!(3 * m.len() >= p, "too small: {} of {p}", m.len());
+            prop_assert!(2 * m.len() <= p + 1, "too large: {} of {p}", m.len());
+        }
+    }
+
+    /// Relabeling a list is permutation-equivariant in the trivial
+    /// sense: the matching depends only on the layout, not on any
+    /// global state (two identical runs agree).
+    #[test]
+    fn reproducible(n in 2usize..500, seed in any::<u64>()) {
+        let a = random_list(n, seed);
+        let b = random_list(n, seed);
+        prop_assert_eq!(match1(&a, CoinVariant::Msb).matching, match1(&b, CoinVariant::Msb).matching);
+        prop_assert_eq!(match4_with(&a, 2, CoinVariant::Msb).matching, match4_with(&b, 2, CoinVariant::Msb).matching);
+    }
+}
+
+proptest! {
+    // Slow tier: properties that run the simulated PRAM under the
+    // checked-mode conflict detector, or build Match3's default jump
+    // table, per case.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
     /// All four native algorithms produce maximal matchings on anything.
+    /// (Stays in the slow tier: the default Match3 config builds its
+    /// full jump table per case.)
     #[test]
     fn all_algorithms_maximal(list in list_strategy(), variant_lsb in any::<bool>()) {
         let variant = if variant_lsb { CoinVariant::Lsb } else { CoinVariant::Msb };
@@ -132,39 +179,6 @@ proptest! {
         let list = random_list(n, seed);
         let out = rank_pram(&list, i, ExecMode::Checked).unwrap();
         prop_assert_eq!(out.ranks, list.ranks_seq());
-    }
-
-    /// Blocked layouts (the partially sorted family) work everywhere.
-    #[test]
-    fn blocked_layout(n in 2usize..800, block in 1usize..64, seed in any::<u64>()) {
-        let list = blocked_list(n, block, seed);
-        let m = match4_with(&list, 2, CoinVariant::Msb).matching;
-        verify::assert_maximal_matching(&list, &m);
-    }
-
-    /// Matching size always sits in the maximal band [P/3, ⌈P/2⌉].
-    #[test]
-    fn size_band(list in list_strategy()) {
-        let p = list.pointer_count();
-        for m in [
-            match1(&list, CoinVariant::Msb).matching,
-            match2(&list, 2, CoinVariant::Msb).matching,
-            match4_with(&list, 2, CoinVariant::Msb).matching,
-        ] {
-            prop_assert!(3 * m.len() >= p, "too small: {} of {p}", m.len());
-            prop_assert!(2 * m.len() <= p + 1, "too large: {} of {p}", m.len());
-        }
-    }
-
-    /// Relabeling a list is permutation-equivariant in the trivial
-    /// sense: the matching depends only on the layout, not on any
-    /// global state (two identical runs agree).
-    #[test]
-    fn reproducible(n in 2usize..500, seed in any::<u64>()) {
-        let a = random_list(n, seed);
-        let b = random_list(n, seed);
-        prop_assert_eq!(match1(&a, CoinVariant::Msb).matching, match1(&b, CoinVariant::Msb).matching);
-        prop_assert_eq!(match4_with(&a, 2, CoinVariant::Msb).matching, match4_with(&b, 2, CoinVariant::Msb).matching);
     }
 }
 

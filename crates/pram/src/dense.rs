@@ -34,6 +34,7 @@
 //! for a dense step never changes an experiment's counters.
 
 use crate::error::PramError;
+use crate::fault::FaultKind;
 use crate::machine::{ChunkScratch, DenseCtxInner, ExecMode, Machine};
 use crate::region::Region;
 use crate::Word;
@@ -230,7 +231,8 @@ impl Machine {
     where
         F: Fn(&mut DenseCtx<'_>) + Sync,
     {
-        let (r0, w0) = (self.stats.reads, self.stats.writes);
+        let fault_events = |m: &Machine| m.faults.as_ref().map_or(0, |fs| fs.events());
+        let (r0, w0, f0) = (self.stats.reads, self.stats.writes, fault_events(self));
         let res = self.dense_inner(p, scopes, f);
         if let Some(tr) = &mut self.trace {
             tr.push(crate::trace::StepTrace {
@@ -238,6 +240,7 @@ impl Machine {
                 reads: self.stats.reads - r0,
                 writes: self.stats.writes - w0,
                 failed: res.is_err(),
+                faults: self.faults.as_ref().map_or(0, |fs| fs.events()) - f0,
             });
         }
         res
@@ -286,6 +289,11 @@ impl Machine {
         let checked = self.mode == ExecMode::Checked;
         let nchunks = self.plan_chunks(p);
         let (read_epoch, _) = self.next_epochs();
+        // Sequential pre-phase: the step's stall set (see machine.rs).
+        let stalls: Vec<u32> = match &mut self.faults {
+            Some(fs) => fs.stalled_pids(step_idx, p),
+            None => Vec::new(),
+        };
 
         if checked {
             let log_read_addrs = !self.model.allows_concurrent_read();
@@ -303,6 +311,7 @@ impl Machine {
                 &scope_wins,
                 log_read_addrs,
                 step_idx,
+                &stalls,
                 &f,
             );
             for s in &mut self.scratch[..nchunks] {
@@ -335,10 +344,41 @@ impl Machine {
                 .map(|s| s.writes.len() as u64)
                 .sum();
             self.stats.writes += total_puts;
+            // Fault sites are matched with a per-pid op counter exactly
+            // like step()'s resolve loop (puts arrive in ascending pid
+            // order, each pid's puts contiguous). Dense exclusivity is
+            // structural, so an injected bit flip or duplicate corrupts
+            // memory *silently* here — by design, that is the fault
+            // class only the output verifier can catch.
+            let (mut cur_pid, mut op_idx) = (u32::MAX, 0u32);
             for ci in 0..nchunks {
                 for wi in 0..self.scratch[ci].writes.len() {
                     let (k, pid, val) = self.scratch[ci].writes[wi];
-                    self.mem[scope_wins[k].0 + pid as usize] = val;
+                    let addr = scope_wins[k].0 + pid as usize;
+                    let mut targets = [(addr, val), (0, 0)];
+                    let mut ntargets = 1;
+                    if let Some(fs) = self.faults.as_mut() {
+                        if pid != cur_pid {
+                            cur_pid = pid;
+                            op_idx = 0;
+                        }
+                        match fs.write_fault(step_idx, pid, op_idx) {
+                            Some(FaultKind::BitFlip { mask }) => targets[0].1 ^= mask,
+                            Some(FaultKind::DropWrite) => ntargets = 0,
+                            Some(FaultKind::DuplicateWrite { offset }) => {
+                                let dup = addr.wrapping_add_signed(offset);
+                                if dup < self.mem.len() {
+                                    targets[1] = (dup, val);
+                                    ntargets = 2;
+                                }
+                            }
+                            Some(FaultKind::Stall { .. }) | None => {}
+                        }
+                        op_idx += 1;
+                    }
+                    for &(addr, val) in &targets[..ntargets] {
+                        self.mem[addr] = val;
+                    }
                 }
             }
             return Ok(());
@@ -369,6 +409,9 @@ impl Machine {
             .map(|w| w.expect("every scope carved"))
             .collect();
 
+        // Fast-mode puts land in place from worker threads, so only the
+        // stall class injects here; write-class sites never fire (the
+        // self-checking runners use checked mode, where all four do).
         run_dense_fast(
             &mut self.scratch[..nchunks],
             wins,
@@ -379,6 +422,7 @@ impl Machine {
             mem_size,
             step_idx,
             scopes.len(),
+            &stalls,
             &f,
         );
         for s in &mut self.scratch[..nchunks] {
@@ -404,6 +448,7 @@ fn run_dense_checked<F>(
     scope_wins: &[(usize, usize)],
     log_read_addrs: bool,
     step: u64,
+    stalls: &[u32],
     f: &F,
 ) where
     F: Fn(&mut DenseCtx<'_>) + Sync,
@@ -411,6 +456,9 @@ fn run_dense_checked<F>(
     if chunks.len() <= 1 {
         let s = &mut chunks[0];
         for pid in lo..hi {
+            if !stalls.is_empty() && stalls.binary_search(&(pid as u32)).is_ok() {
+                continue;
+            }
             let mut ctx = DenseCtx {
                 pid,
                 chunk_lo: lo,
@@ -449,6 +497,7 @@ fn run_dense_checked<F>(
                 scope_wins,
                 log_read_addrs,
                 step,
+                stalls,
                 f,
             )
         },
@@ -462,6 +511,7 @@ fn run_dense_checked<F>(
                 scope_wins,
                 log_read_addrs,
                 step,
+                stalls,
                 f,
             )
         },
@@ -481,6 +531,7 @@ fn run_dense_fast<F>(
     mem_size: usize,
     step: u64,
     nscopes: usize,
+    stalls: &[u32],
     f: &F,
 ) where
     F: Fn(&mut DenseCtx<'_>) + Sync,
@@ -495,6 +546,9 @@ fn run_dense_fast<F>(
             .map(|w| Cell::from_mut(w).as_slice_of_cells())
             .collect();
         for pid in lo..hi {
+            if !stalls.is_empty() && stalls.binary_search(&(pid as u32)).is_ok() {
+                continue;
+            }
             let mut ctx = DenseCtx {
                 pid,
                 chunk_lo: lo,
@@ -530,12 +584,12 @@ fn run_dense_fast<F>(
     rayon::join(
         || {
             run_dense_fast(
-                left, lwins, lo, mid, gaps, windows, mem_size, step, nscopes, f,
+                left, lwins, lo, mid, gaps, windows, mem_size, step, nscopes, stalls, f,
             )
         },
         || {
             run_dense_fast(
-                right, rwins, mid, hi, gaps, windows, mem_size, step, nscopes, f,
+                right, rwins, mid, hi, gaps, windows, mem_size, step, nscopes, stalls, f,
             )
         },
     );
@@ -797,6 +851,57 @@ mod tests {
         m.dense_step(0, &[out], |_ctx| unreachable!()).unwrap();
         assert_eq!(m.stats().steps, 1);
         assert_eq!(m.stats().work, 0);
+    }
+
+    #[test]
+    fn dense_checked_write_faults_corrupt_silently() {
+        use crate::fault::{FaultKind, FaultPlan, FaultSite};
+        // Dense exclusivity is structural — a bit flip and a duplicate
+        // pass undetected (the verifier's job), a drop loses the put.
+        let mut m = Machine::new(Model::Crew, 0);
+        let out = m.alloc(8);
+        m.install_fault_plan(FaultPlan::new(vec![
+            FaultSite {
+                step: 0,
+                pid: 1,
+                op: 0,
+                kind: FaultKind::BitFlip { mask: 0b1000 },
+            },
+            FaultSite {
+                step: 0,
+                pid: 4,
+                op: 0,
+                kind: FaultKind::DropWrite,
+            },
+            FaultSite {
+                step: 0,
+                pid: 6,
+                op: 0,
+                kind: FaultKind::DuplicateWrite { offset: 1 },
+            },
+        ]));
+        m.dense_step(8, &[out], |ctx| ctx.put(0, 1)).unwrap();
+        assert_eq!(m.region_slice(out), &[1, 1 ^ 0b1000, 1, 1, 0, 1, 1, 1]);
+        assert_eq!(m.fault_report().unwrap().events, 3);
+    }
+
+    #[test]
+    fn dense_stall_skips_put_in_both_modes() {
+        use crate::fault::{FaultKind, FaultPlan, FaultSite};
+        for mut m in both_modes(Model::Crew, 0) {
+            let out = m.alloc(4);
+            m.install_fault_plan(FaultPlan::new(vec![FaultSite {
+                step: 0,
+                pid: 2,
+                op: 0,
+                kind: FaultKind::Stall { steps: 1 },
+            }]));
+            m.enable_trace();
+            m.dense_step(4, &[out], |ctx| ctx.put(0, 9)).unwrap();
+            assert_eq!(m.region_slice(out), &[9, 9, 0, 9], "{:?}", m.mode());
+            let tr = m.take_trace().unwrap();
+            assert_eq!(tr.steps()[0].faults, 1);
+        }
     }
 
     #[test]

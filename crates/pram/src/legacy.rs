@@ -255,6 +255,9 @@ impl LegacyMachine {
                 reads: self.stats.reads - r0,
                 writes: self.stats.writes - w0,
                 failed: res.is_err(),
+                // The legacy engine takes no fault plans: it is the
+                // fault-free oracle.
+                faults: 0,
             });
         }
         res

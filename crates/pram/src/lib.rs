@@ -68,6 +68,7 @@
 
 pub mod dense;
 pub mod error;
+pub mod fault;
 pub mod legacy;
 pub mod machine;
 pub mod model;
@@ -77,12 +78,13 @@ pub mod trace;
 
 pub use dense::DenseCtx;
 pub use error::PramError;
+pub use fault::{FaultClass, FaultKind, FaultPlan, FaultReport, FaultSite, RunProbe};
 pub use legacy::{LegacyCtx, LegacyMachine};
 pub use machine::{ExecMode, Machine, ProcCtx};
 pub use model::Model;
 pub use region::Region;
 pub use stats::Stats;
-pub use trace::{StepTrace, Trace};
+pub use trace::{PhaseSpan, StepTrace, Trace};
 
 /// Machine word: all shared-memory cells hold one of these.
 pub type Word = u64;

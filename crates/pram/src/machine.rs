@@ -34,6 +34,7 @@
 //! structural legality instead of logging.
 
 use crate::error::PramError;
+use crate::fault::{FaultKind, FaultPlan, FaultReport, FaultState};
 use crate::model::Model;
 use crate::region::Region;
 use crate::stats::Stats;
@@ -256,6 +257,23 @@ pub struct Machine {
     /// whose conflict surfaces mid-resolution, keeping failed steps
     /// atomic.
     pub(crate) undo: Vec<(usize, Word)>,
+    /// Injection state when a [`FaultPlan`] is installed (directly or
+    /// via [`crate::fault::arm`]); `None` on the ordinary path.
+    pub(crate) faults: Option<Box<FaultState>>,
+}
+
+impl Drop for Machine {
+    fn drop(&mut self) {
+        // A fault-armed machine publishes its probe so harnesses that
+        // never see the machine (it lives inside a matcher) can still
+        // read the report: see [`crate::fault::take_probes`].
+        if let Some(fs) = self.faults.take() {
+            crate::fault::publish_probe(crate::fault::RunProbe {
+                report: fs.report(),
+                trace: self.trace.take(),
+            });
+        }
+    }
 }
 
 impl Machine {
@@ -271,18 +289,40 @@ impl Machine {
     }
 
     fn with_mode(model: Model, size: usize, mode: ExecMode) -> Self {
+        let armed = crate::fault::take_armed();
+        let trace = match &armed {
+            Some((_, true)) => Some(crate::trace::Trace::default()),
+            _ => None,
+        };
         Self {
             mem: vec![0; size],
             model,
             mode,
             stats: Stats::default(),
-            trace: None,
+            trace,
             epoch: 0,
             stamp_epoch: Vec::new(),
             stamp_pid: Vec::new(),
             scratch: Vec::new(),
             undo: Vec::new(),
+            faults: armed.map(|(plan, _)| Box::new(FaultState::new(plan))),
         }
+    }
+
+    /// Install a fault plan on this machine (replacing any present).
+    /// Subsequent steps inject per the plan; see [`crate::fault`].
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(Box::new(FaultState::new(plan)));
+    }
+
+    /// The fault report accumulated so far, if a plan is installed.
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        self.faults.as_ref().map(|f| f.report())
+    }
+
+    /// Injection events so far (0 when no plan is installed).
+    fn fault_events(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.events())
     }
 
     /// Start recording one [`crate::trace::StepTrace`] per step.
@@ -298,6 +338,14 @@ impl Machine {
     /// The trace recorded so far, if tracing is enabled.
     pub fn trace(&self) -> Option<&crate::trace::Trace> {
         self.trace.as_ref()
+    }
+
+    /// Mutable access to the live trace — for phase labels
+    /// ([`crate::trace::Trace::begin_phase`]) and retry counters.
+    /// `None` when tracing is disabled, so callers can label phases
+    /// unconditionally at zero cost on untraced runs.
+    pub fn trace_mut(&mut self) -> Option<&mut crate::trace::Trace> {
+        self.trace.as_mut()
     }
 
     /// The machine's model.
@@ -409,7 +457,7 @@ impl Machine {
     where
         F: Fn(&mut ProcCtx<'_>) + Sync,
     {
-        let (r0, w0) = (self.stats.reads, self.stats.writes);
+        let (r0, w0, f0) = (self.stats.reads, self.stats.writes, self.fault_events());
         let res = self.step_inner(p, f);
         if let Some(tr) = &mut self.trace {
             tr.push(crate::trace::StepTrace {
@@ -417,6 +465,7 @@ impl Machine {
                 reads: self.stats.reads - r0,
                 writes: self.stats.writes - w0,
                 failed: res.is_err(),
+                faults: self.faults.as_ref().map_or(0, |fs| fs.events()) - f0,
             });
         }
         res
@@ -438,6 +487,13 @@ impl Machine {
         let log_read_addrs = checked && !self.model.allows_concurrent_read();
         let nchunks = self.plan_chunks(p);
         let (read_epoch, write_epoch) = self.next_epochs();
+        // Sequential pre-phase: the step's stall set (empty unless a
+        // fault plan is installed), keyed only on (step, pid) so it is
+        // identical on every pool size.
+        let stalls: Vec<u32> = match &mut self.faults {
+            Some(fs) => fs.stalled_pids(step_idx, p),
+            None => Vec::new(),
+        };
 
         // Phase 1: execute all processors into the chunk scratches.
         run_chunks(
@@ -447,6 +503,7 @@ impl Machine {
             &self.mem,
             checked,
             log_read_addrs,
+            &stalls,
             &f,
         );
 
@@ -491,28 +548,79 @@ impl Machine {
         let exclusive_write = checked && !self.model.allows_concurrent_write();
         let common_value = checked && self.model.requires_common_value();
         self.undo.clear();
+        // Per-pid op counter for fault-site matching: writes arrive in
+        // ascending pid order (chunks cover ascending ranges), so a pid
+        // change resets the counter.
+        let (mut cur_pid, mut op_idx) = (u32::MAX, 0u32);
         for ci in 0..nchunks {
             for wi in 0..self.scratch[ci].writes.len() {
                 let (addr, pid, val) = self.scratch[ci].writes[wi];
-                if self.stamp_epoch[addr] == write_epoch {
-                    if exclusive_write || (common_value && self.mem[addr] != val) {
-                        for &(a, old) in self.undo.iter().rev() {
-                            self.mem[a] = old;
+                // `targets` is the write after injection: usually just
+                // the original, possibly mutated/duplicated/empty.
+                let mut targets = [(addr, val), (0, 0)];
+                let mut ntargets = 1;
+                if let Some(fs) = self.faults.as_mut() {
+                    if pid != cur_pid {
+                        cur_pid = pid;
+                        op_idx = 0;
+                    }
+                    match fs.write_fault(step_idx, pid, op_idx) {
+                        Some(FaultKind::BitFlip { mask }) => targets[0].1 ^= mask,
+                        Some(FaultKind::DropWrite) => ntargets = 0,
+                        Some(FaultKind::DuplicateWrite { offset }) => {
+                            let dup = addr.wrapping_add_signed(offset);
+                            if dup < self.mem.len() {
+                                targets[1] = (dup, val);
+                                ntargets = 2;
+                            }
                         }
-                        return Err(canonical_write_error(
-                            &self.scratch[..nchunks],
-                            self.model,
-                            step_idx,
-                        ));
+                        Some(FaultKind::Stall { .. }) | None => {}
                     }
-                    // Legal concurrent write: the lowest pid already won.
-                } else {
-                    self.stamp_epoch[addr] = write_epoch;
-                    self.stamp_pid[addr] = pid;
-                    if checked {
-                        self.undo.push((addr, self.mem[addr]));
+                    op_idx += 1;
+                }
+                for &(addr, val) in &targets[..ntargets] {
+                    if self.stamp_epoch[addr] == write_epoch {
+                        if exclusive_write || (common_value && self.mem[addr] != val) {
+                            let applied = self.mem[addr];
+                            for &(a, old) in self.undo.iter().rev() {
+                                self.mem[a] = old;
+                            }
+                            // With faults injected the scratch no longer
+                            // reflects what was applied, so re-deriving the
+                            // canonical error from it can miss the conflict;
+                            // report the stamped collision directly.
+                            return Err(if self.faults.is_some() {
+                                if exclusive_write {
+                                    PramError::WriteConflict {
+                                        model: self.model,
+                                        addr,
+                                        pids: (self.stamp_pid[addr] as usize, pid as usize),
+                                        step: step_idx,
+                                    }
+                                } else {
+                                    PramError::CommonValueMismatch {
+                                        addr,
+                                        values: (applied, val),
+                                        step: step_idx,
+                                    }
+                                }
+                            } else {
+                                canonical_write_error(
+                                    &self.scratch[..nchunks],
+                                    self.model,
+                                    step_idx,
+                                )
+                            });
+                        }
+                        // Legal concurrent write: the lowest pid already won.
+                    } else {
+                        self.stamp_epoch[addr] = write_epoch;
+                        self.stamp_pid[addr] = pid;
+                        if checked {
+                            self.undo.push((addr, self.mem[addr]));
+                        }
+                        self.mem[addr] = val;
                     }
-                    self.mem[addr] = val;
                 }
             }
         }
@@ -535,6 +643,9 @@ impl Machine {
 /// chunk executes on (at most) one worker thread. Chunk `i` always
 /// receives the `i`-th contiguous pid range, so the concatenated
 /// scratches are in ascending pid order regardless of scheduling.
+/// Pids in `stalls` (sorted) are skipped entirely — the fault module's
+/// stall class; empty on the ordinary path.
+#[allow(clippy::too_many_arguments)]
 fn run_chunks<F>(
     chunks: &mut [ChunkScratch],
     lo: usize,
@@ -542,6 +653,7 @@ fn run_chunks<F>(
     mem: &[Word],
     count_reads: bool,
     log_read_addrs: bool,
+    stalls: &[u32],
     f: &F,
 ) where
     F: Fn(&mut ProcCtx<'_>) + Sync,
@@ -549,6 +661,9 @@ fn run_chunks<F>(
     if chunks.len() <= 1 {
         let s = &mut chunks[0];
         for pid in lo..hi {
+            if !stalls.is_empty() && stalls.binary_search(&(pid as u32)).is_ok() {
+                continue;
+            }
             let write_start = s.writes.len();
             let mut ctx = ProcCtx {
                 pid,
@@ -572,8 +687,8 @@ fn run_chunks<F>(
     let (left, right) = chunks.split_at_mut(half);
     let mid = lo + (hi - lo) * half / (half + right.len());
     rayon::join(
-        || run_chunks(left, lo, mid, mem, count_reads, log_read_addrs, f),
-        || run_chunks(right, mid, hi, mem, count_reads, log_read_addrs, f),
+        || run_chunks(left, lo, mid, mem, count_reads, log_read_addrs, stalls, f),
+        || run_chunks(right, mid, hi, mem, count_reads, log_read_addrs, stalls, f),
     );
 }
 
@@ -997,6 +1112,152 @@ mod tests {
         assert!(tr.steps()[1].failed);
         assert_eq!(tr.max_procs(), 8);
         assert!(m.trace().is_none(), "take_trace stops recording");
+    }
+
+    #[test]
+    fn fault_bit_flip_corrupts_written_word() {
+        use crate::fault::{FaultPlan, FaultSite};
+        let mut m = Machine::new(Model::Erew, 4);
+        m.install_fault_plan(FaultPlan::new(vec![FaultSite {
+            step: 0,
+            pid: 2,
+            op: 0,
+            kind: FaultKind::BitFlip { mask: 0b100 },
+        }]));
+        m.step(4, |ctx| ctx.write(ctx.pid(), 1)).unwrap();
+        assert_eq!(m.memory(), &[1, 1, 1 ^ 0b100, 1]);
+        let r = m.fault_report().unwrap();
+        assert_eq!(r.fired, vec![0]);
+        assert_eq!(r.events, 1);
+    }
+
+    #[test]
+    fn fault_drop_write_loses_exactly_one_write() {
+        use crate::fault::{FaultPlan, FaultSite};
+        let mut m = Machine::new(Model::Erew, 4);
+        m.install_fault_plan(FaultPlan::new(vec![FaultSite {
+            step: 1,
+            pid: 1,
+            op: 0,
+            kind: FaultKind::DropWrite,
+        }]));
+        m.step(4, |ctx| ctx.write(ctx.pid(), 7)).unwrap();
+        m.step(4, |ctx| ctx.write(ctx.pid(), 9)).unwrap();
+        assert_eq!(m.memory(), &[9, 7, 9, 9], "pid 1's second write lost");
+    }
+
+    #[test]
+    fn fault_duplicate_write_hits_neighbor() {
+        use crate::fault::{FaultPlan, FaultSite};
+        // CRCW-priority: the duplicate to a neighbor is legal, just wrong.
+        let mut m = Machine::new(Model::CrcwPriority, 4);
+        m.install_fault_plan(FaultPlan::new(vec![FaultSite {
+            step: 0,
+            pid: 0,
+            op: 0,
+            kind: FaultKind::DuplicateWrite { offset: 1 },
+        }]));
+        m.step(1, |ctx| ctx.write(0, 5)).unwrap();
+        assert_eq!(m.memory(), &[5, 5, 0, 0]);
+    }
+
+    #[test]
+    fn fault_duplicate_write_conflict_detected_on_erew() {
+        use crate::fault::{FaultPlan, FaultSite};
+        // pid 0's duplicate lands on pid 1's cell: EREW must reject the
+        // step and leave memory untouched (atomicity).
+        let mut m = Machine::new(Model::Erew, 4);
+        m.install_fault_plan(FaultPlan::new(vec![FaultSite {
+            step: 0,
+            pid: 0,
+            op: 0,
+            kind: FaultKind::DuplicateWrite { offset: 1 },
+        }]));
+        let err = m.step(2, |ctx| ctx.write(ctx.pid(), 3));
+        assert!(
+            matches!(err, Err(PramError::WriteConflict { addr: 1, .. })),
+            "{err:?}"
+        );
+        assert_eq!(m.memory(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn fault_stall_skips_processor_for_k_steps() {
+        use crate::fault::{FaultPlan, FaultSite};
+        let mut m = Machine::new(Model::Erew, 4);
+        m.install_fault_plan(FaultPlan::new(vec![FaultSite {
+            step: 0,
+            pid: 3,
+            op: 0,
+            kind: FaultKind::Stall { steps: 2 },
+        }]));
+        for _ in 0..3 {
+            m.step(4, |ctx| {
+                let v = ctx.read(ctx.pid());
+                ctx.write(ctx.pid(), v + 1);
+            })
+            .unwrap();
+        }
+        assert_eq!(m.memory(), &[3, 3, 3, 1], "pid 3 missed 2 of 3 steps");
+        let r = m.fault_report().unwrap();
+        assert_eq!(r.events, 2, "one event per stalled step");
+    }
+
+    #[test]
+    fn fault_injection_independent_of_pool_size() {
+        use crate::fault::{FaultClass, FaultPlan};
+        // A seeded plan over a chunked step (p > 2*MIN_CHUNK) must give
+        // the same image and report on every pool size.
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    let p = 700;
+                    let mut m = Machine::new(Model::CrcwPriority, p);
+                    let mut plan = FaultPlan::generate(42, FaultClass::BitFlip, 6, 4, p as u32);
+                    plan.sites
+                        .extend(FaultPlan::generate(43, FaultClass::Stall, 4, 4, p as u32).sites);
+                    m.install_fault_plan(plan);
+                    for r in 0..4u64 {
+                        m.step(p, move |ctx| {
+                            let v = ctx.read((ctx.pid() * 13 + r as usize) % 700);
+                            ctx.write(ctx.pid(), v.wrapping_add(ctx.pid() as Word));
+                        })
+                        .unwrap();
+                    }
+                    (m.memory().to_vec(), m.fault_report().unwrap())
+                })
+        };
+        let base = run(1);
+        for t in [2, 4] {
+            assert_eq!(run(t), base, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn armed_machine_publishes_probe_on_drop() {
+        use crate::fault::{self, FaultPlan, FaultSite};
+        let _ = fault::take_probes(); // drain anything earlier tests left
+        fault::arm_with_trace(FaultPlan::new(vec![FaultSite {
+            step: 0,
+            pid: 0,
+            op: 0,
+            kind: FaultKind::DropWrite,
+        }]));
+        {
+            let mut m = Machine::new(Model::Erew, 2);
+            m.step(1, |ctx| ctx.write(0, 1)).unwrap();
+            assert_eq!(m.peek(0), 0, "write dropped");
+        }
+        let probes = fault::take_probes();
+        assert_eq!(probes.len(), 1);
+        assert_eq!(probes[0].report.fired, vec![0]);
+        let tr = probes[0].trace.as_ref().expect("arm_with_trace traces");
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr.steps()[0].faults, 1);
+        assert!(fault::take_probes().is_empty());
     }
 
     #[test]

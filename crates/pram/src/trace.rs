@@ -1,10 +1,13 @@
 //! Per-step execution traces.
 //!
 //! When enabled, the machine records one [`StepTrace`] per simulated
-//! step — the processor count scheduled, the memory traffic, and
-//! whether the step was rejected. Experiments use this to attribute
-//! step budgets to algorithm phases (e.g. "how many of Match2's steps
-//! are the sort").
+//! step — the processor count scheduled, the memory traffic, whether
+//! the step was rejected, and how many fault-plan events fired in it
+//! (see [`crate::fault`]). Experiments use this to attribute step
+//! budgets to algorithm phases (e.g. "how many of Match2's steps are
+//! the sort"); the self-checking runners in `parmatch-testkit` use the
+//! phase spans and the fault/retry counters to report where injected
+//! faults landed and how often recovery re-ran a program.
 
 /// Record of one simulated step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,12 +21,30 @@ pub struct StepTrace {
     /// True iff the step was rejected (conflict / fault) and its writes
     /// discarded.
     pub failed: bool,
+    /// Injected fault events that fired during the step (0 unless a
+    /// [`crate::fault::FaultPlan`] is armed).
+    pub faults: u64,
 }
 
-/// A sequence of step traces with simple aggregation helpers.
+/// A labeled span of steps — one algorithm phase of a traced run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Phase label, as given to [`Trace::begin_phase`].
+    pub label: String,
+    /// First step index of the phase.
+    pub start: usize,
+    /// One past the last step index (clamped to the recorded length).
+    pub end: usize,
+}
+
+/// A sequence of step traces with simple aggregation helpers, labeled
+/// phase spans, and fault/retry counters.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     steps: Vec<StepTrace>,
+    /// `(label, start, end)`; `end == usize::MAX` marks the open span.
+    spans: Vec<(String, usize, usize)>,
+    retries: u64,
 }
 
 impl Trace {
@@ -47,14 +68,113 @@ impl Trace {
         self.steps.is_empty()
     }
 
-    /// Sum of `procs` over a step range — the work of a phase.
+    /// Sum of `procs` over a step range — the work of a phase. The
+    /// range is clamped to the recorded steps, so an out-of-range or
+    /// inverted range contributes nothing instead of panicking (use
+    /// [`Trace::try_work_in`] to distinguish that case).
     pub fn work_in(&self, range: std::ops::Range<usize>) -> u64 {
-        self.steps[range].iter().map(|t| t.procs as u64).sum()
+        let end = range.end.min(self.steps.len());
+        let start = range.start.min(end);
+        self.steps[start..end].iter().map(|t| t.procs as u64).sum()
+    }
+
+    /// [`Trace::work_in`] that reports out-of-range ranges as `None`
+    /// instead of clamping.
+    pub fn try_work_in(&self, range: std::ops::Range<usize>) -> Option<u64> {
+        if range.start > range.end || range.end > self.steps.len() {
+            return None;
+        }
+        Some(self.steps[range].iter().map(|t| t.procs as u64).sum())
     }
 
     /// Largest processor count any step scheduled.
     pub fn max_procs(&self) -> usize {
         self.steps.iter().map(|t| t.procs).max().unwrap_or(0)
+    }
+
+    /// Total fault events across all recorded steps.
+    pub fn faults_total(&self) -> u64 {
+        self.steps.iter().map(|t| t.faults).sum()
+    }
+
+    /// Number of recorded steps that were rejected.
+    pub fn failed_steps(&self) -> u64 {
+        self.steps.iter().filter(|t| t.failed).count() as u64
+    }
+
+    /// Open a labeled phase at the current step position, closing any
+    /// phase still open.
+    pub fn begin_phase(&mut self, label: &str) {
+        self.end_phase();
+        self.spans
+            .push((label.to_string(), self.steps.len(), usize::MAX));
+    }
+
+    /// Close the currently open phase, if any, at the current position.
+    pub fn end_phase(&mut self) {
+        if let Some(last) = self.spans.last_mut() {
+            if last.2 == usize::MAX {
+                last.2 = self.steps.len();
+            }
+        }
+    }
+
+    /// The labeled phase spans recorded so far; a still-open span ends
+    /// at the current length.
+    pub fn phase_spans(&self) -> Vec<PhaseSpan> {
+        self.spans
+            .iter()
+            .map(|(label, start, end)| PhaseSpan {
+                label: label.clone(),
+                start: *start,
+                end: if *end == usize::MAX {
+                    self.steps.len()
+                } else {
+                    *end
+                },
+            })
+            .collect()
+    }
+
+    /// Record one recovery retry (incremented by self-checking runners
+    /// when they re-run a program from a checkpoint).
+    pub fn add_retry(&mut self) {
+        self.retries += 1;
+    }
+
+    /// Recovery retries recorded via [`Trace::add_retry`].
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Serialize the trace summary — step totals, fault and retry
+    /// counters, and per-phase spans with their work and fault counts —
+    /// as a self-contained JSON object.
+    pub fn to_json(&self) -> String {
+        let phases: Vec<String> = self
+            .phase_spans()
+            .iter()
+            .map(|s| {
+                let faults: u64 = self.steps[s.start..s.end].iter().map(|t| t.faults).sum();
+                format!(
+                    "{{\"label\": \"{}\", \"start\": {}, \"end\": {}, \"work\": {}, \"faults\": {}}}",
+                    s.label.replace('"', "'"),
+                    s.start,
+                    s.end,
+                    self.work_in(s.start..s.end),
+                    faults
+                )
+            })
+            .collect();
+        format!(
+            "{{\"steps\": {}, \"work\": {}, \"failed_steps\": {}, \"faults\": {}, \"retries\": {}, \"phases\": [{}]}}",
+            self.len(),
+            self.work_in(0..self.len()),
+            self.failed_steps(),
+            self.faults_total(),
+            self.retries,
+            phases.join(", ")
+        )
     }
 }
 
@@ -62,22 +182,100 @@ impl Trace {
 mod tests {
     use super::*;
 
+    fn t(procs: usize) -> StepTrace {
+        StepTrace {
+            procs,
+            reads: 1,
+            writes: 1,
+            failed: false,
+            faults: 0,
+        }
+    }
+
     #[test]
     fn aggregation() {
-        let mut t = Trace::default();
-        assert!(t.is_empty());
+        let mut tr = Trace::default();
+        assert!(tr.is_empty());
         for p in [4usize, 8, 2] {
-            t.push(StepTrace {
-                procs: p,
-                reads: 1,
-                writes: 1,
-                failed: false,
-            });
+            tr.push(t(p));
         }
-        assert_eq!(t.len(), 3);
-        assert_eq!(t.work_in(0..2), 12);
-        assert_eq!(t.work_in(0..3), 14);
-        assert_eq!(t.max_procs(), 8);
-        assert!(!t.steps()[0].failed);
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.work_in(0..2), 12);
+        assert_eq!(tr.work_in(0..3), 14);
+        assert_eq!(tr.max_procs(), 8);
+        assert!(!tr.steps()[0].failed);
+    }
+
+    #[test]
+    fn work_in_clamps_out_of_range() {
+        let mut tr = Trace::default();
+        for p in [4usize, 8, 2] {
+            tr.push(t(p));
+        }
+        // The seed engine panicked on these; now they clamp.
+        assert_eq!(tr.work_in(0..99), 14);
+        assert_eq!(tr.work_in(2..100), 2);
+        assert_eq!(tr.work_in(50..99), 0);
+        #[allow(clippy::reversed_empty_ranges)]
+        {
+            assert_eq!(tr.work_in(3..1), 0);
+        }
+        assert_eq!(Trace::default().work_in(0..1), 0);
+    }
+
+    #[test]
+    fn try_work_in_reports_invalid_ranges() {
+        let mut tr = Trace::default();
+        tr.push(t(4));
+        tr.push(t(8));
+        assert_eq!(tr.try_work_in(0..2), Some(12));
+        assert_eq!(tr.try_work_in(0..3), None);
+        #[allow(clippy::reversed_empty_ranges)]
+        {
+            assert_eq!(tr.try_work_in(2..1), None);
+        }
+        assert_eq!(tr.try_work_in(2..2), Some(0));
+    }
+
+    #[test]
+    fn phases_and_counters() {
+        let mut tr = Trace::default();
+        tr.begin_phase("load");
+        tr.push(t(4));
+        tr.push(t(4));
+        tr.begin_phase("walk");
+        tr.push(StepTrace {
+            procs: 2,
+            reads: 0,
+            writes: 0,
+            failed: true,
+            faults: 3,
+        });
+        tr.end_phase();
+        tr.push(t(9)); // outside any phase
+        tr.add_retry();
+        let spans = tr.phase_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].label, "load");
+        assert_eq!((spans[0].start, spans[0].end), (0, 2));
+        assert_eq!((spans[1].start, spans[1].end), (2, 3));
+        assert_eq!(tr.work_in(spans[0].start..spans[0].end), 8);
+        assert_eq!(tr.faults_total(), 3);
+        assert_eq!(tr.failed_steps(), 1);
+        assert_eq!(tr.retries(), 1);
+        let json = tr.to_json();
+        assert!(json.contains("\"label\": \"walk\""), "{json}");
+        assert!(json.contains("\"retries\": 1"), "{json}");
+    }
+
+    #[test]
+    fn open_phase_ends_at_current_length() {
+        let mut tr = Trace::default();
+        tr.begin_phase("only");
+        tr.push(t(1));
+        let spans = tr.phase_spans();
+        assert_eq!((spans[0].start, spans[0].end), (0, 1));
+        tr.push(t(1));
+        assert_eq!(tr.phase_spans()[0].end, 2);
     }
 }

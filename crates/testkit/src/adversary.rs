@@ -1,0 +1,264 @@
+//! Seeded illegal-program generator: random op-table PRAM programs
+//! with conflicts *planted* at known `(step, pids, addr)` sites, plus
+//! the differential oracle check — the epoch-stamped engine must
+//! report the bit-identical canonical error the legacy engine does.
+//!
+//! This extends the generator of `parmatch-pram`'s
+//! `tests/engine_equivalence.rs`: where that suite relies on random
+//! collisions arising from a small address span, these programs
+//! *guarantee* illegality — every planted site forces two distinct
+//! processors onto one cell in one step, with distinct values — so an
+//! exclusive-write (or common-CRCW) model must fail at or before the
+//! first planted step, and both engines must agree on the exact error
+//! variant and fields.
+
+use parmatch_pram::{ExecMode, LegacyMachine, Machine, Model, PramError, Word};
+
+/// One simulated-step operation of a generated program.
+#[derive(Clone, Copy, Debug)]
+pub enum Op {
+    /// Read the cell.
+    Read(usize),
+    /// Write the value to the cell.
+    Write(usize, Word),
+}
+
+/// A conflict planted at a known site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Planted {
+    /// Step the conflict lands in.
+    pub step: usize,
+    /// The two colliding processors.
+    pub pids: (usize, usize),
+    /// The contested cell.
+    pub addr: usize,
+}
+
+/// A generated program: `steps[s][pid]` is processor `pid`'s op list
+/// for step `s`, plus the list of planted conflict sites.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Per-step, per-pid op tables.
+    pub steps: Vec<Vec<Vec<Op>>>,
+    /// Memory size the program addresses (`0..span`).
+    pub span: usize,
+    /// Where conflicts were planted, in step order.
+    pub planted: Vec<Planted>,
+}
+
+/// splitmix64 — the crate-wide seed expander.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Generate an illegal program: random background ops (as in the
+/// engine-equivalence suite) with a write conflict planted in every
+/// odd step — two distinct pids, one cell, *distinct* values, so the
+/// site is illegal on every exclusive-write model and on common-CRCW.
+pub fn gen_illegal(seed: u64, p: usize, nsteps: usize, span: usize) -> Program {
+    assert!(p >= 2 && span >= 1);
+    let mut st = seed;
+    let mut planted = Vec::new();
+    let steps = (0..nsteps)
+        .map(|s| {
+            let mut step: Vec<Vec<Op>> = (0..p)
+                .map(|_| {
+                    let nops = (mix(&mut st) % 3) as usize;
+                    (0..nops)
+                        .map(|_| {
+                            let r = mix(&mut st);
+                            let addr = (r >> 8) as usize % span;
+                            if r.is_multiple_of(3) {
+                                Op::Read(addr)
+                            } else {
+                                Op::Write(addr, (r >> 40) % 3)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            if s % 2 == 1 {
+                let r = mix(&mut st);
+                let a = (r as usize) % p;
+                let b = (a + 1 + (r >> 16) as usize % (p - 1)) % p;
+                let addr = (r >> 32) as usize % span;
+                step[a].push(Op::Write(addr, 100));
+                step[b].push(Op::Write(addr, 101));
+                planted.push(Planted {
+                    step: s,
+                    pids: (a.min(b), a.max(b)),
+                    addr,
+                });
+            }
+            step
+        })
+        .collect();
+    Program {
+        steps,
+        span,
+        planted,
+    }
+}
+
+/// Everything observable about one run: per-step results (including
+/// the exact error), per-step memory images, final counters.
+#[derive(Debug, PartialEq)]
+pub struct Observation {
+    /// One result per step, in order.
+    pub results: Vec<Result<(), PramError>>,
+    /// The memory image after each step.
+    pub memories: Vec<Vec<Word>>,
+    /// `(steps, work, reads, writes)` at the end.
+    pub stats: (u64, u64, u64, u64),
+}
+
+macro_rules! observe_with {
+    ($machine:expr, $prog:expr) => {{
+        let mut m = $machine;
+        let mut results = Vec::new();
+        let mut memories = Vec::new();
+        for step in &$prog.steps {
+            results.push(m.step(step.len(), |ctx| {
+                for op in &step[ctx.pid()] {
+                    match *op {
+                        Op::Read(a) => {
+                            let _ = ctx.read(a);
+                        }
+                        Op::Write(a, v) => ctx.write(a, v),
+                    }
+                }
+            }));
+            memories.push(m.memory().to_vec());
+        }
+        let s = m.stats();
+        Observation {
+            results,
+            memories,
+            stats: (s.steps, s.work, s.reads, s.writes),
+        }
+    }};
+}
+
+/// Run a program through the epoch-stamped engine.
+pub fn observe_new(prog: &Program, model: Model, mode: ExecMode) -> Observation {
+    let machine = match mode {
+        ExecMode::Checked => Machine::new(model, prog.span),
+        ExecMode::Fast => Machine::new_fast(model, prog.span),
+    };
+    observe_with!(machine, prog)
+}
+
+/// Run a program through the legacy (oracle) engine.
+pub fn observe_legacy(prog: &Program, model: Model, mode: ExecMode) -> Observation {
+    let machine = match mode {
+        ExecMode::Checked => LegacyMachine::new(model, prog.span),
+        ExecMode::Fast => LegacyMachine::new_fast(model, prog.span),
+    };
+    observe_with!(machine, prog)
+}
+
+/// Differential check: `None` when the two engines observe
+/// identically, otherwise a description of the first divergence.
+pub fn divergence(prog: &Program, model: Model, mode: ExecMode) -> Option<String> {
+    let new = observe_new(prog, model, mode);
+    let old = observe_legacy(prog, model, mode);
+    if new == old {
+        return None;
+    }
+    for (s, (a, b)) in new.results.iter().zip(&old.results).enumerate() {
+        if a != b {
+            return Some(format!(
+                "step {s}: new engine {a:?}, legacy engine {b:?} ({model:?} {mode:?})"
+            ));
+        }
+    }
+    for (s, (a, b)) in new.memories.iter().zip(&old.memories).enumerate() {
+        if a != b {
+            return Some(format!(
+                "step {s}: memory images differ ({model:?} {mode:?})"
+            ));
+        }
+    }
+    Some(format!(
+        "stats differ: new {:?}, legacy {:?} ({model:?} {mode:?})",
+        new.stats, old.stats
+    ))
+}
+
+/// The models on which a planted write conflict (distinct values) is
+/// illegal — and therefore must surface as an error in checked mode.
+pub const STRICT_MODELS: [Model; 3] = [Model::Erew, Model::Crew, Model::CrcwCommon];
+
+/// Assert the canonical-error contract on an illegal program: on every
+/// strict model in checked mode the planted conflicts make some step
+/// fail, the error is bit-identical between engines, and the first
+/// failing step is no later than the first planted site.
+///
+/// Returns the per-model first failing step. Panics on violation.
+pub fn assert_canonical_errors(prog: &Program) -> Vec<(Model, usize)> {
+    assert!(!prog.planted.is_empty(), "program has no planted conflicts");
+    let first_planted = prog.planted[0].step;
+    let mut firsts = Vec::new();
+    for model in STRICT_MODELS {
+        if let Some(d) = divergence(prog, model, ExecMode::Checked) {
+            panic!("engines diverge: {d}");
+        }
+        let obs = observe_new(prog, model, ExecMode::Checked);
+        let first_err = obs
+            .results
+            .iter()
+            .position(|r| r.is_err())
+            .unwrap_or_else(|| panic!("{model:?}: planted conflict did not surface"));
+        assert!(
+            first_err <= first_planted,
+            "{model:?}: first error at step {first_err}, planted at {first_planted}"
+        );
+        firsts.push((model, first_err));
+    }
+    firsts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_plants_conflicts_in_odd_steps() {
+        let prog = gen_illegal(9, 8, 6, 5);
+        assert_eq!(prog.planted.len(), 3);
+        for (i, site) in prog.planted.iter().enumerate() {
+            assert_eq!(site.step, 2 * i + 1);
+            assert_ne!(site.pids.0, site.pids.1);
+            assert!(site.addr < prog.span);
+        }
+        let same = gen_illegal(9, 8, 6, 5);
+        assert_eq!(prog.planted, same.planted);
+    }
+
+    #[test]
+    fn planted_conflict_is_canonical_on_strict_models() {
+        for seed in 0..8u64 {
+            let prog = gen_illegal(seed, 6, 4, 4);
+            let firsts = assert_canonical_errors(&prog);
+            assert_eq!(firsts.len(), STRICT_MODELS.len());
+        }
+    }
+
+    #[test]
+    fn arbitrary_and_priority_swallow_the_conflict_identically() {
+        // On arbitrary/priority CRCW the planted conflict is legal;
+        // both engines must agree on the resolved memory too.
+        for seed in 0..8u64 {
+            let prog = gen_illegal(seed, 6, 4, 4);
+            for model in [Model::CrcwArbitrary, Model::CrcwPriority] {
+                for mode in [ExecMode::Checked, ExecMode::Fast] {
+                    assert_eq!(divergence(&prog, model, mode), None);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests of the adversarial program generator: seeded illegal
+//! programs must draw the bit-identical canonical error from both
+//! engines, on every model, in both modes — including processor counts
+//! past the chunking threshold (p ≥ 512) where the epoch-stamped
+//! engine's parallel execute phase actually splits.
+
+use parmatch_pram::{ExecMode, Model};
+use parmatch_testkit::adversary::{assert_canonical_errors, divergence, gen_illegal};
+use proptest::prelude::*;
+
+const MODELS: [Model; 5] = [
+    Model::Erew,
+    Model::Crew,
+    Model::CrcwCommon,
+    Model::CrcwArbitrary,
+    Model::CrcwPriority,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary illegal programs: both engines observe identically on
+    /// every model in both modes, and on strict models the planted
+    /// conflict surfaces as the same canonical error in both.
+    #[test]
+    fn illegal_programs_draw_identical_errors(
+        seed in any::<u64>(),
+        p in 2usize..32,
+        span in 2usize..10,
+    ) {
+        let prog = gen_illegal(seed, p, 6, span);
+        for model in MODELS {
+            for mode in [ExecMode::Checked, ExecMode::Fast] {
+                prop_assert_eq!(divergence(&prog, model, mode), None);
+            }
+        }
+        assert_canonical_errors(&prog);
+    }
+
+    /// Same contract across the chunking threshold: p large enough
+    /// that the new engine splits the execute phase (p ≥ 2·MIN_CHUNK),
+    /// with the conflict planted across chunk boundaries.
+    #[test]
+    fn illegal_programs_chunked(seed in any::<u64>(), span in 2usize..8) {
+        let prog = gen_illegal(seed, 600, 4, span);
+        for model in [Model::Erew, Model::CrcwCommon] {
+            prop_assert_eq!(divergence(&prog, model, ExecMode::Checked), None);
+        }
+        assert_canonical_errors(&prog);
+    }
+
+    /// The error a planted site draws is stable across rayon pool
+    /// sizes (errors are selected in the sequential resolve phase).
+    #[test]
+    fn planted_errors_pool_size_independent(seed in any::<u64>()) {
+        let prog = gen_illegal(seed, 520, 4, 6);
+        let on_pool = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    parmatch_testkit::adversary::observe_new(
+                        &prog,
+                        Model::Erew,
+                        ExecMode::Checked,
+                    )
+                })
+        };
+        let base = on_pool(1);
+        prop_assert_eq!(&on_pool(2), &base);
+        prop_assert_eq!(&on_pool(7), &base);
+    }
+}

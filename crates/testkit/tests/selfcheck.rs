@@ -1,0 +1,102 @@
+//! Acceptance tests of the self-checking harness: the detection matrix
+//! is deterministic (same seed ⇒ identical counts, across repeated runs
+//! and across rayon pool sizes), and no fault class silently corrupts
+//! an accepted output — every trial either fails loudly (engine or
+//! verifier) or ends in a verified maximal matching.
+
+use parmatch_testkit::{fault_matrix, MatrixConfig};
+
+fn small_cfg() -> MatrixConfig {
+    MatrixConfig {
+        n: 72,
+        seed: 1234,
+        trials: 3,
+        sites_per_trial: 4,
+        retry_budget: 4,
+    }
+}
+
+#[test]
+fn matrix_is_deterministic_across_runs() {
+    let cfg = small_cfg();
+    let a = fault_matrix(&cfg);
+    let b = fault_matrix(&cfg);
+    assert_eq!(a, b, "same seed must give identical counts");
+}
+
+#[test]
+fn matrix_is_pool_size_independent() {
+    let cfg = small_cfg();
+    let on_pool = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| fault_matrix(&cfg))
+    };
+    let base = on_pool(1);
+    assert_eq!(on_pool(2), base, "2-thread pool changed the counts");
+    assert_eq!(on_pool(8), base, "8-thread pool changed the counts");
+}
+
+#[test]
+fn no_silent_corruption_escapes() {
+    // Every trial is accounted for: the faulted attempt was either
+    // detected by the engine, caught by the verifier, or benign —
+    // and with budget ≥ sites the retry loop always converges to a
+    // verified output. A *fired* trial that were none of the three
+    // would be silent corruption escaping the harness.
+    let cfg = MatrixConfig {
+        n: 96,
+        seed: 7,
+        trials: 4,
+        sites_per_trial: 5,
+        retry_budget: 5,
+    };
+    for cell in fault_matrix(&cfg) {
+        assert_eq!(
+            cell.unrecovered,
+            0,
+            "{}/{}: trials left unverified",
+            cell.matcher,
+            cell.class.name()
+        );
+        let accounted = cell.detected_by_engine + cell.caught_by_verifier + cell.benign;
+        assert_eq!(
+            accounted,
+            cell.fired_trials,
+            "{}/{}: fired trials not fully classified",
+            cell.matcher,
+            cell.class.name()
+        );
+        // A trial needing recovery must first have failed loudly.
+        assert!(
+            cell.recovered <= cell.detected_by_engine + cell.caught_by_verifier,
+            "{}/{}: recovered without a first-attempt failure",
+            cell.matcher,
+            cell.class.name()
+        );
+    }
+}
+
+#[test]
+fn faults_actually_fire_somewhere() {
+    // The matrix is vacuous if no generated site ever lands on a live
+    // write. Across all 16 cells of a default-sized run, a healthy
+    // majority of classes must register injections for every matcher.
+    let cfg = small_cfg();
+    let cells = fault_matrix(&cfg);
+    let total_injected: u64 = cells.iter().map(|c| c.injected).sum();
+    assert!(
+        total_injected > 0,
+        "no fault fired anywhere — generation is mistargeted"
+    );
+    for matcher in ["match1", "match2", "match3", "match4"] {
+        let hits: u64 = cells
+            .iter()
+            .filter(|c| c.matcher == matcher)
+            .map(|c| c.injected)
+            .sum();
+        assert!(hits > 0, "{matcher}: no fault of any class ever fired");
+    }
+}

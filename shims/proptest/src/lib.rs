@@ -15,7 +15,14 @@
 //!   different stream;
 //! * on failure the test panics with the assertion message and the case
 //!   number — there is **no shrinking**, so re-running with the same
-//!   seed reproduces the failure but does not minimize it.
+//!   seed reproduces the failure but does not minimize it;
+//! * `.proptest-regressions` files are honored: a sibling of the test
+//!   source (same stem) whose `cc <hex>` lines are folded into replay
+//!   seeds that every property in the file re-runs *before* its random
+//!   cases, and a failing random case appends its seed to that file —
+//!   so once a failure is checked in, it is pinned forever. Upstream
+//!   files (256-bit `cc` hashes) fold to valid (if arbitrary) seeds,
+//!   keeping checked-in files portable in both directions.
 
 #![forbid(unsafe_code)]
 
@@ -242,13 +249,116 @@ fn name_seed(name: &str) -> u64 {
     h ^ env_u64("PROPTEST_SEED").unwrap_or(0)
 }
 
-/// Drive one property: run up to `cases` accepted random cases (an
-/// assume-rejection retries with fresh randomness, bounded by a global
-/// attempt cap), panicking on the first failing case.
-pub fn run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
+/// Fold one `cc` hex blob (16 hex chars per 64-bit chunk, XORed) into a
+/// replay seed. Accepts both this shim's 16-char seeds and upstream
+/// proptest's 64-char persistence hashes.
+fn fold_cc_seed(hex: &str) -> Option<u64> {
+    if hex.is_empty() || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    let mut acc = 0u64;
+    let mut i = 0;
+    while i < hex.len() {
+        let end = (i + 16).min(hex.len());
+        acc ^= u64::from_str_radix(&hex[i..end], 16).ok()?;
+        i = end;
+    }
+    Some(acc)
+}
+
+/// The regressions file siblings a test source may resolve to. `file!()`
+/// paths are workspace-root-relative while test binaries run from the
+/// package directory, so ancestors are tried too.
+fn regression_candidates(source_file: &str) -> Vec<String> {
+    let Some(stem) = source_file.strip_suffix(".rs") else {
+        return Vec::new();
+    };
+    let rel = format!("{stem}.proptest-regressions");
+    let mut out = vec![rel.clone()];
+    for up in ["../", "../../", "../../../"] {
+        out.push(format!("{up}{rel}"));
+    }
+    out
+}
+
+/// Replay seeds persisted next to `source_file`, in file order.
+fn regression_seeds(source_file: &str) -> Vec<u64> {
+    for cand in regression_candidates(source_file) {
+        if let Ok(text) = std::fs::read_to_string(&cand) {
+            return text
+                .lines()
+                .filter_map(|l| {
+                    let rest = l.trim().strip_prefix("cc ")?;
+                    fold_cc_seed(rest.split_whitespace().next()?)
+                })
+                .collect();
+        }
+    }
+    Vec::new()
+}
+
+/// Append a failing seed to the regressions file (creating it, with the
+/// customary do-not-edit header, in the test source's directory).
+fn persist_regression(source_file: &str, seed: u64, msg: &str) {
+    use std::io::Write;
+    for cand in regression_candidates(source_file) {
+        let path = std::path::Path::new(&cand);
+        let dir_exists = path
+            .parent()
+            .is_some_and(|d| d == std::path::Path::new("") || d.exists());
+        if !dir_exists {
+            continue;
+        }
+        let existed = path.exists();
+        let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        else {
+            continue;
+        };
+        if !existed {
+            let _ = writeln!(
+                f,
+                "# Seeds for failure cases proptest has generated in the past. It is\n\
+                 # automatically read and these particular cases re-run before any\n\
+                 # novel cases are generated.\n\
+                 #\n\
+                 # It is recommended to check this file in to source control so that\n\
+                 # everyone who runs the test benefits from these saved cases.\n"
+            );
+        }
+        let first = msg.lines().next().unwrap_or("");
+        let _ = writeln!(f, "cc {seed:016x} # {first}");
+        eprintln!("proptest: persisted failing seed to {cand}");
+        return;
+    }
+}
+
+/// Drive one property: first replay any seeds persisted in the
+/// `.proptest-regressions` sibling of `source_file`, then run up to
+/// `cases` accepted random cases (an assume-rejection retries with
+/// fresh randomness, bounded by a global attempt cap), panicking on the
+/// first failing case — whose seed is appended to the regressions file.
+pub fn run_property_in<F>(name: &str, source_file: &str, config: &ProptestConfig, mut case: F)
 where
     F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
 {
+    if !source_file.is_empty() {
+        for (i, &seed) in regression_seeds(source_file).iter().enumerate() {
+            let mut rng = TestRng::from_seed(seed);
+            match case(&mut rng) {
+                Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {name}: persisted regression case {} (seed \
+                         {seed:#018x}) failed: {msg}",
+                        i + 1
+                    );
+                }
+            }
+        }
+    }
     let cases = env_u64("PROPTEST_CASES")
         .map(|c| c as u32)
         .unwrap_or(config.cases);
@@ -263,13 +373,16 @@ where
                  ({accepted}/{cases} cases accepted) — assume rejects too much"
             );
         }
-        let mut rng =
-            TestRng::from_seed(base.wrapping_add(attempt.wrapping_mul(0xA076_1D64_78BD_642F)));
+        let seed = base.wrapping_add(attempt.wrapping_mul(0xA076_1D64_78BD_642F));
+        let mut rng = TestRng::from_seed(seed);
         attempt += 1;
         match case(&mut rng) {
             Ok(()) => accepted += 1,
             Err(TestCaseError::Reject(_)) => {}
             Err(TestCaseError::Fail(msg)) => {
+                if !source_file.is_empty() {
+                    persist_regression(source_file, seed, &msg);
+                }
                 panic!(
                     "proptest {name}: case {} (attempt {}) failed: {msg}\n\
                      (re-run with PROPTEST_SEED unset to reproduce deterministically)",
@@ -279,6 +392,15 @@ where
             }
         }
     }
+}
+
+/// [`run_property_in`] without a source file: no regression replay or
+/// persistence.
+pub fn run_property<F>(name: &str, config: &ProptestConfig, case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    run_property_in(name, "", config, case)
 }
 
 // ---------------------------------------------------------------------
@@ -297,8 +419,9 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 #[allow(clippy::redundant_closure_call)]
-                $crate::run_property(
+                $crate::run_property_in(
                     concat!(module_path!(), "::", stringify!($name)),
+                    file!(),
                     &$cfg,
                     |__proptest_rng: &mut $crate::TestRng| {
                         $(let $p = $crate::Strategy::pick(&($s), __proptest_rng);)*
@@ -465,5 +588,84 @@ mod tests {
             let x = rng.next_u64();
             Err(crate::TestCaseError::Fail(format!("x={x}")))
         });
+    }
+
+    #[test]
+    fn fold_cc_seed_handles_both_widths() {
+        // A 16-char blob is the seed itself.
+        assert_eq!(crate::fold_cc_seed("00000000000000ff"), Some(0xff));
+        // Upstream 256-bit hashes fold by XOR of 64-bit chunks.
+        let hex = "00000000000000010000000000000002000000000000000400000000000000f0";
+        assert_eq!(crate::fold_cc_seed(&hex[..16]), Some(1));
+        assert_eq!(crate::fold_cc_seed(hex), Some(1 ^ 2 ^ 4 ^ 0xf0));
+        assert_eq!(crate::fold_cc_seed("xyz"), None);
+        assert_eq!(crate::fold_cc_seed(""), None);
+    }
+
+    fn scratch_source(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("proptest-shim-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("prop.rs")
+    }
+
+    #[test]
+    fn regressions_file_replays_before_random_cases() {
+        let src = scratch_source("replay");
+        let seed = 0x1234_5678_9abc_def0u64;
+        std::fs::write(
+            src.with_extension("proptest-regressions"),
+            format!("# pinned\ncc {seed:016x} # shrinks to x = 7\n"),
+        )
+        .unwrap();
+        let mut first_draw = None;
+        crate::run_property_in(
+            "replay_test",
+            src.to_str().unwrap(),
+            &ProptestConfig::with_cases(1),
+            |rng| {
+                first_draw.get_or_insert(rng.next_u64());
+                Ok(())
+            },
+        );
+        let want = crate::TestRng::from_seed(seed).next_u64();
+        assert_eq!(first_draw, Some(want), "first case replays the cc seed");
+    }
+
+    #[test]
+    fn failing_case_persists_its_seed() {
+        let src = scratch_source("persist");
+        let reg = src.with_extension("proptest-regressions");
+        let _ = std::fs::remove_file(&reg);
+        let res = std::panic::catch_unwind(|| {
+            crate::run_property_in(
+                "persist_test",
+                src.to_str().unwrap(),
+                &ProptestConfig::with_cases(2),
+                |_rng| Err(crate::TestCaseError::Fail("boom".into())),
+            );
+        });
+        assert!(res.is_err());
+        let text = std::fs::read_to_string(&reg).unwrap();
+        assert!(text.starts_with("# Seeds for failure cases"), "{text}");
+        let cc = text.lines().find(|l| l.starts_with("cc ")).unwrap();
+        // The persisted seed replays: the next run fails during replay.
+        let seed = crate::fold_cc_seed(cc.split_whitespace().nth(1).unwrap()).unwrap();
+        let res = std::panic::catch_unwind(|| {
+            crate::run_property_in(
+                "persist_test",
+                src.to_str().unwrap(),
+                &ProptestConfig::with_cases(2),
+                |rng| {
+                    if rng.clone().next_u64() == crate::TestRng::from_seed(seed).next_u64() {
+                        Err(crate::TestCaseError::Fail("replayed".into()))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        });
+        let msg = res.unwrap_err();
+        let msg = msg.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("persisted regression case"), "{msg}");
     }
 }

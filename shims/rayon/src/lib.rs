@@ -50,6 +50,16 @@ thread_local! {
 }
 
 fn default_threads() -> usize {
+    // Like the real rayon, the global default honors RAYON_NUM_THREADS
+    // (CI runs the test suite under a {1, 2, 8} matrix); unparsable or
+    // zero values fall back to the machine's parallelism.
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -171,6 +181,18 @@ mod tests {
         let inside = pool.install(current_num_threads);
         assert_eq!(inside, 1);
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn env_var_caps_default_threads() {
+        // An install() override must still beat the env var.
+        std::env::set_var("RAYON_NUM_THREADS", "3");
+        assert_eq!(current_num_threads(), 3);
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 2);
+        std::env::set_var("RAYON_NUM_THREADS", "not-a-number");
+        assert!(current_num_threads() >= 1);
+        std::env::remove_var("RAYON_NUM_THREADS");
     }
 
     #[test]

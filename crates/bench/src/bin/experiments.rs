@@ -22,6 +22,9 @@ use parmatch_pram::ExecMode;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    if args.iter().any(|a| a == "--quick") {
+        QUICK.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
     if json {
         JSON_OUT.with(|j| *j.borrow_mut() = Some(Vec::new()));
     }
@@ -65,6 +68,10 @@ thread_local! {
     static JSON_OUT: std::cell::RefCell<Option<Vec<String>>> = const { std::cell::RefCell::new(None) };
 }
 
+/// `--quick`: shrink experiment grids for CI smoke runs (only the
+/// `native` experiment honors it today).
+static QUICK: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
 fn json_field(key: &str, value: String) {
     JSON_OUT.with(|j| {
         if let Some(fields) = j.borrow_mut().as_mut() {
@@ -90,7 +97,124 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("e14", e14_optimal_ranking),
     ("engine", engine_bench),
     ("faults", e15_faults),
+    ("native", e16_native_scaling),
 ];
+
+/// E16: the native scaling suite — all four workspace-backed matchers
+/// over an n × threads grid, asserting bit-identical outputs at every
+/// thread count. With `--json`, writes `BENCH_native.json`; `--quick`
+/// shrinks the grid to an n = 2^14 CI smoke run.
+fn e16_native_scaling() {
+    use parmatch_core::{match1_in, match2_in, match3_in, match4_in, Workspace};
+    use std::time::Instant;
+
+    let quick = QUICK.load(std::sync::atomic::Ordering::Relaxed);
+    println!("## E16 — native scaling: workspace pipeline over n × threads");
+    let ns: &[usize] = if quick {
+        &[1 << 14]
+    } else {
+        &[1 << 16, 1 << 18, 1 << 20, 1 << 22]
+    };
+    let thread_grid: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let reps = if quick { 2 } else { 3 };
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    // Median seconds per call over `reps` calls after one warmup.
+    fn med<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+        f();
+        let mut times: Vec<f64> = (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    }
+
+    let algos: &[&str] = &["match1", "match2", "match3", "match4"];
+    let mut rows = Vec::new();
+    let mut json_results = Vec::new();
+    for &n in ns {
+        let list = random_list(n, SEED);
+        // reference outputs at the first thread count; every other
+        // thread count must reproduce them bit for bit
+        let mut reference: Vec<parmatch_core::Matching> = Vec::new();
+        for &threads in thread_grid {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let (outs, secs, workers) = pool.install(|| {
+                let mut ws = Workspace::new();
+                let cfg = Match3Config::default();
+                let outs = vec![
+                    match1_in(&list, CoinVariant::Msb, &mut ws).matching,
+                    match2_in(&list, 2, CoinVariant::Msb, &mut ws).matching,
+                    match3_in(&list, cfg, &mut ws).unwrap().matching,
+                    match4_in(&list, 2, CoinVariant::Msb, &mut ws).matching,
+                ];
+                let secs = vec![
+                    med(reps, || {
+                        match1_in(&list, CoinVariant::Msb, &mut ws);
+                    }),
+                    med(reps, || {
+                        match2_in(&list, 2, CoinVariant::Msb, &mut ws);
+                    }),
+                    med(reps, || {
+                        match3_in(&list, cfg, &mut ws).unwrap();
+                    }),
+                    med(reps, || {
+                        match4_in(&list, 2, CoinVariant::Msb, &mut ws);
+                    }),
+                ];
+                (outs, secs, rayon::pool_workers())
+            });
+            if reference.is_empty() {
+                reference = outs;
+            } else {
+                for (a, (got, want)) in algos.iter().zip(outs.iter().zip(reference.iter())) {
+                    assert_eq!(
+                        got, want,
+                        "{a} diverged at n={n} threads={threads}: outputs must be bit-identical"
+                    );
+                }
+            }
+            for (algo, &s) in algos.iter().zip(secs.iter()) {
+                let mnps = n as f64 / s / 1e6;
+                rows.push(vec![
+                    format!("2^{}", n.trailing_zeros()),
+                    threads.to_string(),
+                    algo.to_string(),
+                    format!("{:.1} ms", s * 1e3),
+                    format!("{mnps:.1}M"),
+                ]);
+                json_results.push(format!(
+                    "    {{\"algo\": \"{algo}\", \"n\": {n}, \"threads\": {threads}, \
+                     \"pool_workers\": {workers}, \"secs\": {s:.6}, \
+                     \"mnodes_per_sec\": {mnps:.3}, \"identical\": true}}"
+                ));
+            }
+        }
+    }
+    print_table(&["n", "threads", "algo", "median", "nodes/s"], &rows);
+    println!(
+        "(workspace reused across runs — steady state allocates nothing; outputs asserted \
+         bit-identical across all thread counts; machine exposes {cores} hardware \
+         thread(s), so wall-clock scaling tops out there regardless of pool size)"
+    );
+    let json_active = JSON_OUT.with(|j| j.borrow().is_some());
+    if json_active {
+        let body = format!(
+            "{{\n  \"experiment\": \"native_scaling\",\n  \"quick\": {quick},\n  \
+             \"available_parallelism\": {cores},\n  \"seed\": {SEED},\n  \"results\": [\n{}\n  ]\n}}\n",
+            json_results.join(",\n")
+        );
+        std::fs::write("BENCH_native.json", body).expect("write BENCH_native.json");
+        println!("wrote BENCH_native.json");
+    }
+}
 
 /// E15: the fault-injection detection matrix — every fault class
 /// through every matcher under the self-checking runner, counting

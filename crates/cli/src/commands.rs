@@ -26,7 +26,10 @@ COMMANDS
   match   --algo seq|match1|match2|match3|match4|random
           (--input FILE | --n N [--seed S])
           [--i I] [--rounds K] [--variant msb|lsb] [--verify]
-          Compute a maximal matching; print a summary.
+          [--threads T]
+          Compute a maximal matching; print a summary. --threads runs
+          the matcher on a pool of T workers (outputs are identical at
+          every thread count).
   rank    (--input FILE | --n N [--seed S])
           [--algo contraction|cascade|wyllie] [--i I] [--check]
   color   (--input FILE | --n N [--seed S]) [--algo matching|cv]
@@ -158,52 +161,17 @@ fn summarize(list: &LinkedList, m: &Matching, verified: bool, extra: &str) -> St
 fn cmd_match(args: &Args) -> Result<String, CliError> {
     let list = list_of(args)?;
     let variant = variant_of(args)?;
-    let (m, extra) = match args.get("algo").unwrap_or("match4") {
-        "seq" => (parmatch_baselines::seq_matching(&list), String::new()),
-        "random" => {
-            let out = parmatch_baselines::randomized_matching(&list, args.get_or("seed", 42)?);
-            (out.matching, format!(" in {} coin rounds", out.rounds))
-        }
-        "match1" => {
-            let out = match1(&list, variant);
-            (
-                out.matching,
-                format!(" in {} f-rounds (bound {})", out.rounds, out.final_bound),
-            )
-        }
-        "match2" => {
-            let out = match2(&list, args.get_or("rounds", 2)?, variant);
-            (
-                out.matching,
-                format!(" via {} matching sets", out.partition.distinct_sets()),
-            )
-        }
-        "match3" => {
-            let cfg = Match3Config {
-                crunch_rounds: args.get_or("rounds", 3)?,
-                variant,
-                ..Match3Config::default()
-            };
-            let out = match3(&list, cfg).map_err(|e| CliError::new(e.to_string()))?;
-            (
-                out.matching,
-                format!(
-                    " via a 2^{}-entry table, {} jumps",
-                    out.table_bits, out.jump_rounds
-                ),
-            )
-        }
-        "match4" => {
-            let out = match4_with(&list, args.get_or("i", 2)?, variant);
-            (
-                out.matching,
-                format!(
-                    " on a {}×{} grid, {} walk rounds",
-                    out.rows, out.cols, out.walk_rounds
-                ),
-            )
-        }
-        other => return Err(CliError::new(format!("unknown algo {other:?}"))),
+    let threads: usize = args.get_or("threads", 0)?;
+    let compute =
+        || -> Result<(Matching, String), CliError> { cmd_match_compute(args, &list, variant) };
+    let (m, extra) = if threads > 0 {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .map_err(|e| CliError::new(format!("thread pool: {e:?}")))?;
+        pool.install(compute)?
+    } else {
+        compute()?
     };
     let verified = args.flag("verify");
     if verified {
@@ -215,6 +183,61 @@ fn cmd_match(args: &Args) -> Result<String, CliError> {
         }
     }
     Ok(summarize(&list, &m, verified, &extra))
+}
+
+fn cmd_match_compute(
+    args: &Args,
+    list: &LinkedList,
+    variant: CoinVariant,
+) -> Result<(Matching, String), CliError> {
+    let out = match args.get("algo").unwrap_or("match4") {
+        "seq" => (parmatch_baselines::seq_matching(list), String::new()),
+        "random" => {
+            let out = parmatch_baselines::randomized_matching(list, args.get_or("seed", 42)?);
+            (out.matching, format!(" in {} coin rounds", out.rounds))
+        }
+        "match1" => {
+            let out = match1(list, variant);
+            (
+                out.matching,
+                format!(" in {} f-rounds (bound {})", out.rounds, out.final_bound),
+            )
+        }
+        "match2" => {
+            let out = match2(list, args.get_or("rounds", 2)?, variant);
+            (
+                out.matching,
+                format!(" via {} matching sets", out.partition.distinct_sets()),
+            )
+        }
+        "match3" => {
+            let cfg = Match3Config {
+                crunch_rounds: args.get_or("rounds", 3)?,
+                variant,
+                ..Match3Config::default()
+            };
+            let out = match3(list, cfg).map_err(|e| CliError::new(e.to_string()))?;
+            (
+                out.matching,
+                format!(
+                    " via a 2^{}-entry table, {} jumps",
+                    out.table_bits, out.jump_rounds
+                ),
+            )
+        }
+        "match4" => {
+            let out = match4_with(list, args.get_or("i", 2)?, variant);
+            (
+                out.matching,
+                format!(
+                    " on a {}×{} grid, {} walk rounds",
+                    out.rows, out.cols, out.walk_rounds
+                ),
+            )
+        }
+        other => return Err(CliError::new(format!("unknown algo {other:?}"))),
+    };
+    Ok(out)
 }
 
 fn cmd_rank(args: &Args) -> Result<String, CliError> {
@@ -451,6 +474,19 @@ mod tests {
             let out = cli(&format!("match --algo {algo} --n 500 --seed 1 --verify")).unwrap();
             assert!(out.contains("verified"), "{algo}: {out}");
         }
+    }
+
+    #[test]
+    fn match_threads_option_is_output_invariant() {
+        let reference = cli("match --algo match4 --n 800 --seed 4").unwrap();
+        for t in [1usize, 2, 8] {
+            let out = cli(&format!(
+                "match --algo match4 --n 800 --seed 4 --threads {t}"
+            ))
+            .unwrap();
+            assert_eq!(out, reference, "threads={t}");
+        }
+        assert!(cli("match --algo match4 --n 100 --threads zero").is_err());
     }
 
     #[test]

@@ -21,10 +21,11 @@
 
 use crate::matching::Matching;
 use crate::partition::{PointerSets, NO_POINTER};
+use crate::workspace::{reset_bools, CHUNK};
 use parmatch_bits::Word;
 use parmatch_list::{cut::walk_sublists, LinkedList, NodeId, NIL};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 /// Match1 step 3: the cut mask. `cut[v]` ⇔ node `v` is a strict local
 /// minimum of the label sequence, with the head's missing predecessor
@@ -97,6 +98,210 @@ pub fn from_labels(list: &LinkedList, labels: &[Word]) -> Matching {
         mask[v] = true;
     }
     Matching::from_mask(list, mask)
+}
+
+/// Zero-allocation variant of [`from_labels`] used by the `*_in`
+/// drivers: all per-node state lives in caller-provided (workspace)
+/// buffers, the predecessor array is taken precomputed, and sublists
+/// are walked directly from their locally detectable heads (`h` starts
+/// a sublist iff `pred[h]` is [`NIL`] or cut) instead of materializing
+/// a sorted head list. Marks — and therefore the matching — are
+/// bit-identical to [`from_labels`].
+pub(crate) fn from_labels_core(
+    list: &LinkedList,
+    labels: &[Word],
+    pred: &[NodeId],
+    cut: &mut Vec<bool>,
+    mask: &mut Vec<AtomicBool>,
+    matched: &mut Vec<AtomicBool>,
+) -> Matching {
+    let n = list.len();
+    if n < 2 {
+        return Matching::empty(n);
+    }
+    assert_eq!(labels.len(), n, "label array length mismatch");
+    assert_eq!(pred.len(), n, "pred array length mismatch");
+
+    // Step 3: the local-minima cut, chunked over nodes.
+    cut.resize(n, false);
+    cut.par_chunks_mut(CHUNK)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            let base = ci * CHUNK;
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                let v = (base + i) as NodeId;
+                *slot = if list.next_raw(v) == NIL {
+                    false
+                } else {
+                    let lv = labels[v as usize];
+                    let left_higher = match pred[v as usize] {
+                        NIL => true,
+                        u => labels[u as usize] > lv,
+                    };
+                    left_higher && labels[list.next_raw(v) as usize] > lv
+                };
+            }
+        });
+
+    reset_bools(mask, n);
+    reset_bools(matched, n);
+
+    // Step 4: walk each sublist, taking even offsets. `h` heads a
+    // sublist iff nothing walks into it: its predecessor is missing or
+    // cut — the same head set `walk_sublists` derives globally.
+    let cut_ref: &[bool] = cut;
+    let mask_ref: &[AtomicBool] = mask;
+    (0..n as NodeId)
+        .into_par_iter()
+        .with_min_len(CHUNK)
+        .for_each(|h| {
+            let starts = match pred[h as usize] {
+                NIL => true,
+                u => cut_ref[u as usize],
+            };
+            if !starts {
+                return;
+            }
+            let mut v = h;
+            let mut offset = 0usize;
+            loop {
+                if cut_ref[v as usize] {
+                    break;
+                }
+                match list.next_raw(v) {
+                    NIL => break,
+                    w => {
+                        if offset.is_multiple_of(2) {
+                            mask_ref[v as usize].store(true, Ordering::Relaxed);
+                        }
+                        offset += 1;
+                        v = w;
+                    }
+                }
+            }
+        });
+
+    // Fix-up: matched-node scatter (matching pointers are node-disjoint,
+    // so every store has a unique writer), then the re-add pass.
+    let matched_ref: &[AtomicBool] = matched;
+    (0..n as NodeId)
+        .into_par_iter()
+        .with_min_len(CHUNK)
+        .for_each(|v| {
+            if mask_ref[v as usize].load(Ordering::Relaxed) {
+                matched_ref[v as usize].store(true, Ordering::Relaxed);
+                matched_ref[list.next_raw(v) as usize].store(true, Ordering::Relaxed);
+            }
+        });
+    let final_mask: Vec<bool> = (0..n)
+        .into_par_iter()
+        .with_min_len(CHUNK)
+        .map(|v| {
+            mask_ref[v].load(Ordering::Relaxed)
+                || (cut_ref[v]
+                    && list.next_raw(v as NodeId) != NIL
+                    && !matched_ref[v].load(Ordering::Relaxed)
+                    && !matched_ref[list.next_raw(v as NodeId) as usize].load(Ordering::Relaxed))
+        })
+        .collect();
+    Matching::from_mask(list, final_mask)
+}
+
+/// Zero-allocation, parallel variant of [`greedy_by_sets`] (ascending
+/// set order only) used by the `*_in` drivers.
+///
+/// Bucketing is a chunked counting sort: a per-chunk × per-set histogram,
+/// a (tiny, `chunks × bound`) sequential prefix pass turning counts into
+/// cursors, and a parallel placement scatter — nodes land grouped by set,
+/// ascending within each set, exactly as [`greedy_by_sets`] buckets them.
+/// The sweep then processes sets in ascending order; within one set the
+/// pointers are node-disjoint (a set is a matching), so the parallel
+/// adds touch disjoint `done` slots and the result is bit-identical to
+/// the sequential sweep.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn greedy_core(
+    list: &LinkedList,
+    sets: &[Word],
+    bound: Word,
+    done: &mut Vec<AtomicBool>,
+    greedy_mask: &mut Vec<AtomicBool>,
+    bucket_nodes: &mut Vec<AtomicU32>,
+    hist: &mut Vec<usize>,
+    set_starts: &mut Vec<usize>,
+) -> Matching {
+    let n = list.len();
+    assert_eq!(sets.len(), n, "set array length mismatch");
+    let b = bound as usize;
+    assert!(b >= 1, "set bound must be positive");
+    reset_bools(done, n);
+    reset_bools(greedy_mask, n);
+    bucket_nodes.resize_with(n, || AtomicU32::new(NIL));
+
+    let nchunks = n.div_ceil(CHUNK).max(1);
+    hist.clear();
+    hist.resize(nchunks * b, 0);
+    hist.par_chunks_mut(b).enumerate().for_each(|(ci, row)| {
+        let lo = ci * CHUNK;
+        let hi = ((ci + 1) * CHUNK).min(n);
+        for &s in &sets[lo..hi] {
+            if s != NO_POINTER {
+                row[s as usize] += 1;
+            }
+        }
+    });
+
+    // Exclusive prefix in (set, chunk) order: afterwards hist[ci][s] is
+    // chunk ci's write cursor for set s, and set_starts[s] the bucket
+    // boundary.
+    set_starts.clear();
+    set_starts.resize(b + 1, 0);
+    let mut acc = 0usize;
+    for s in 0..b {
+        set_starts[s] = acc;
+        for ci in 0..nchunks {
+            let c = hist[ci * b + s];
+            hist[ci * b + s] = acc;
+            acc += c;
+        }
+    }
+    set_starts[b] = acc;
+
+    let bn: &[AtomicU32] = bucket_nodes;
+    hist.par_chunks_mut(b)
+        .enumerate()
+        .for_each(|(ci, cursors)| {
+            let lo = ci * CHUNK;
+            let hi = ((ci + 1) * CHUNK).min(n);
+            for (off, &s) in sets[lo..hi].iter().enumerate() {
+                if s != NO_POINTER {
+                    bn[cursors[s as usize]].store((lo + off) as NodeId, Ordering::Relaxed);
+                    cursors[s as usize] += 1;
+                }
+            }
+        });
+
+    let done_ref: &[AtomicBool] = done;
+    let mask_ref: &[AtomicBool] = greedy_mask;
+    for s in 0..b {
+        bucket_nodes[set_starts[s]..set_starts[s + 1]]
+            .par_iter()
+            .with_min_len(CHUNK)
+            .for_each(|slot| {
+                let v = slot.load(Ordering::Relaxed) as usize;
+                let head = list.next_raw(v as NodeId) as usize;
+                if !done_ref[v].load(Ordering::Relaxed) && !done_ref[head].load(Ordering::Relaxed) {
+                    done_ref[v].store(true, Ordering::Relaxed);
+                    done_ref[head].store(true, Ordering::Relaxed);
+                    mask_ref[v].store(true, Ordering::Relaxed);
+                }
+            });
+    }
+    let final_mask: Vec<bool> = (0..n)
+        .into_par_iter()
+        .with_min_len(CHUNK)
+        .map(|v| mask_ref[v].load(Ordering::Relaxed))
+        .collect();
+    Matching::from_mask(list, final_mask)
 }
 
 /// Match2 step 3: sweep the matching sets in increasing set number;

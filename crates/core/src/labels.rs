@@ -33,6 +33,101 @@ use parmatch_bits::{ilog2_ceil, Word};
 use parmatch_list::{LinkedList, NodeId};
 use rayon::prelude::*;
 
+/// Maximum coin-tossing rounds fused into one blocked memory pass.
+pub(crate) const FUSE: usize = 4;
+
+/// Nodes per parallel chunk of a fused pass.
+const FUSE_CHUNK: usize = 4096;
+
+/// Bit width used by a relabel round starting from `bound`.
+#[inline]
+fn width_of(bound: Word) -> u32 {
+    ilog2_ceil(bound).max(1)
+}
+
+/// Number of rounds `relabel_to_convergence` performs starting from
+/// `bound` — a pure function of the bound cascade `b → 2⌈log₂ b⌉ + 1`,
+/// independent of the data (Lemma 2's `G(n) + O(1)`).
+pub(crate) fn convergence_rounds(mut bound: Word) -> u32 {
+    let mut rounds = 0;
+    loop {
+        let next = 2 * Word::from(width_of(bound)) + 1;
+        if next >= bound {
+            return rounds;
+        }
+        bound = next;
+        rounds += 1;
+    }
+}
+
+/// One blocked pass applying `widths.len() ≤ FUSE` consecutive rounds of
+/// `label[v] := f_ext(label[v], label[suc(v)])`.
+///
+/// For `g` fused rounds each node gathers the labels of `suc^0(v)` …
+/// `suc^g(v)` once and folds the triangle locally — round `t` of the
+/// fold uses `widths[t]`, exactly the width round `t` would use in the
+/// unfused cascade, so the result is bit-identical to `g` separate
+/// [`LabelSeq::relabel`] calls while touching memory once instead of
+/// `g` times.
+fn fused_pass<S>(suc: &S, input: &[Word], out: &mut [Word], widths: &[u32], variant: CoinVariant)
+where
+    S: Fn(NodeId) -> NodeId + Sync,
+{
+    let g = widths.len();
+    debug_assert!((1..=FUSE).contains(&g));
+    out.par_chunks_mut(FUSE_CHUNK)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            let base = ci * FUSE_CHUNK;
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                let mut lab = [0 as Word; FUSE + 1];
+                let mut u = (base + i) as NodeId;
+                for l in lab.iter_mut().take(g + 1) {
+                    *l = input[u as usize];
+                    u = suc(u);
+                }
+                for (t, &w) in widths.iter().enumerate() {
+                    for j in 0..(g - t) {
+                        lab[j] = f_ext(lab[j], lab[j + 1], w, variant);
+                    }
+                }
+                *slot = lab[0];
+            }
+        });
+}
+
+/// Apply `rounds` relabel rounds to `cur` in place (using `alt` as the
+/// double buffer), fusing up to [`FUSE`] rounds per memory pass.
+/// Returns the final bound. Output is bit-identical to `rounds` chained
+/// [`LabelSeq::relabel`] calls.
+pub(crate) fn relabel_rounds_in<S>(
+    suc: &S,
+    cur: &mut Vec<Word>,
+    alt: &mut Vec<Word>,
+    mut bound: Word,
+    rounds: u32,
+    variant: CoinVariant,
+) -> Word
+where
+    S: Fn(NodeId) -> NodeId + Sync,
+{
+    alt.resize(cur.len(), 0);
+    let mut done = 0;
+    while done < rounds {
+        let g = ((rounds - done) as usize).min(FUSE);
+        let mut widths = [0u32; FUSE];
+        for slot in widths.iter_mut().take(g) {
+            let w = width_of(bound);
+            *slot = w;
+            bound = 2 * Word::from(w) + 1;
+        }
+        fused_pass(suc, cur, alt, &widths[..g], variant);
+        std::mem::swap(cur, alt);
+        done += g as u32;
+    }
+    bound
+}
+
 /// The matching partition function on a pair of distinct labels:
 /// `f(<a,b>) = 2k + a_k` with `k` the differing bit chosen by `variant`.
 ///
@@ -99,16 +194,14 @@ impl LabelSeq {
     /// The initial labelling: `label[v] = v` (the node's address),
     /// bound `n`.
     ///
-    /// # Panics
-    ///
-    /// Panics if the list has fewer than 2 nodes — there are no pointers
-    /// to partition (callers special-case trivial lists).
+    /// Lists with fewer than 2 nodes have no pointers to partition; they
+    /// get a (trivially converged) labelling with bound `max(n, 1)`
+    /// rather than a panic, so edge-case callers need no special casing.
     pub fn initial(list: &LinkedList, variant: CoinVariant) -> Self {
         let n = list.len();
-        assert!(n >= 2, "labelling requires at least 2 nodes (got {n})");
         Self {
             labels: (0..n as Word).collect(),
-            bound: n as Word,
+            bound: (n as Word).max(1),
             variant,
             rounds: 0,
         }
@@ -187,24 +280,37 @@ impl LabelSeq {
         }
     }
 
-    /// Apply `k` rounds of [`relabel`](Self::relabel).
+    /// Apply `k` rounds of [`relabel`](Self::relabel), fusing up to
+    /// [`FUSE`] rounds into each blocked memory pass. Bit-identical to
+    /// `k` chained `relabel` calls (each fold step uses the width its
+    /// round would use), but reads/writes the label array `⌈k/FUSE⌉`
+    /// times instead of `k` times.
     pub fn relabel_k(&self, list: &LinkedList, k: u32) -> Self {
-        let mut cur = self.clone();
-        for _ in 0..k {
-            cur = cur.relabel(list);
+        assert_eq!(list.len(), self.labels.len(), "label/list size mismatch");
+        let mut cur = self.labels.clone();
+        let mut alt = Vec::new();
+        let bound = relabel_rounds_in(
+            &|u| list.next_cyclic(u),
+            &mut cur,
+            &mut alt,
+            self.bound,
+            k,
+            self.variant,
+        );
+        Self {
+            labels: cur,
+            bound,
+            variant: self.variant,
+            rounds: self.rounds + k,
         }
-        cur
     }
 
     /// Relabel until the bound stops shrinking — `G(n) + O(1)` rounds —
     /// and return the converged labelling. This is step 2 of Match1 run
-    /// to the fixed point.
+    /// to the fixed point. The round count is a pure function of the
+    /// bound cascade, so the rounds are planned up front and fused.
     pub fn relabel_to_convergence(&self, list: &LinkedList) -> Self {
-        let mut cur = self.clone();
-        while !cur.converged() {
-            cur = cur.relabel(list);
-        }
-        cur
+        self.relabel_k(list, convergence_rounds(self.bound))
     }
 
     /// Check the adjacent-distinct invariant (used by tests and the
@@ -335,8 +441,74 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least 2 nodes")]
-    fn singleton_panics() {
-        LabelSeq::initial(&sequential_list(1), CoinVariant::Msb);
+    fn tiny_lists_do_not_panic() {
+        // n ∈ {0, 1, 2}: no panic anywhere, and converged() is truthful.
+        for n in [0usize, 1, 2] {
+            let list = sequential_list(n);
+            let l = LabelSeq::initial(&list, CoinVariant::Msb);
+            assert_eq!(l.labels().len(), n);
+            assert_eq!(l.bound(), (n as u64).max(1));
+            assert!(l.adjacent_distinct(&list));
+            if n < 2 {
+                // bound 1: 2·max(⌈log₂1⌉,1)+1 = 3 ≥ 1, already converged
+                assert!(l.converged(), "n = {n}");
+            }
+            let c = l.relabel_to_convergence(&list);
+            assert!(c.converged());
+            assert!(c.adjacent_distinct(&list));
+        }
+    }
+
+    #[test]
+    fn already_converged_input_is_fixed() {
+        // A converged labelling relabels to convergence in zero rounds.
+        let list = random_list(4096, 5);
+        let c = LabelSeq::initial(&list, CoinVariant::Msb).relabel_to_convergence(&list);
+        assert!(c.converged());
+        let again = c.relabel_to_convergence(&list);
+        assert_eq!(c, again);
+        assert_eq!(again.rounds(), c.rounds());
+    }
+
+    #[test]
+    fn relabel_k_zero_is_identity() {
+        for n in [0usize, 1, 7, 300] {
+            let list = sequential_list(n);
+            let l = LabelSeq::initial(&list, CoinVariant::Lsb);
+            assert_eq!(l.relabel_k(&list, 0), l);
+        }
+    }
+
+    #[test]
+    fn fused_rounds_match_unfused_exactly() {
+        // The fused kernel must agree with chained single rounds for
+        // every k across the FUSE boundary, bit for bit.
+        let list = random_list(3000, 17);
+        for variant in [CoinVariant::Msb, CoinVariant::Lsb] {
+            let l0 = LabelSeq::initial(&list, variant);
+            let mut chained = l0.clone();
+            for k in 1..=(2 * FUSE as u32 + 1) {
+                chained = chained.relabel(&list);
+                let fused = l0.relabel_k(&list, k);
+                assert_eq!(fused, chained, "k = {k} {variant:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn convergence_rounds_matches_cascade() {
+        for n in [2u64, 3, 10, 1 << 10, 1 << 20, 1 << 40] {
+            let mut bound = n;
+            let mut r = 0;
+            loop {
+                let next = 2 * u64::from(ilog2_ceil(bound).max(1)) + 1;
+                if next >= bound {
+                    break;
+                }
+                bound = next;
+                r += 1;
+            }
+            assert_eq!(convergence_rounds(n), r, "n = {n}");
+        }
     }
 }

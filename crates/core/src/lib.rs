@@ -21,6 +21,7 @@
 //! | [`walkdown`] | WalkDown1 (Lemma 6) and WalkDown2 (Lemma 7 pipeline) |
 //! | [`pram_impl`] | step-faithful simulator versions with exact PRAM step counts |
 //! | [`cost`] | the paper's analytic step-count predictions |
+//! | [`workspace`] | reusable buffer arena for the zero-allocation `*_in` drivers |
 //!
 //! # Quick start
 //!
@@ -54,12 +55,14 @@ pub mod shift_graph;
 pub mod table;
 pub mod verify;
 pub mod walkdown;
+pub mod workspace;
 
 pub use labels::{f_ext, f_pair, LabelSeq};
-pub use match1::{match1, Match1Output};
-pub use match2::{match2, Match2Output};
-pub use match3::{match3, Match3Config, Match3Error, Match3Output};
-pub use match4::{match4, match4_from_partition, match4_with, Match4Output};
+pub use match1::{match1, match1_in, Match1Output};
+pub use match2::{match2, match2_in, Match2Output};
+pub use match3::{match3, match3_in, Match3Config, Match3Error, Match3Output};
+pub use match4::{match4, match4_from_partition, match4_in, match4_with, Match4Output};
 pub use matching::Matching;
 pub use parmatch_bits::coin::CoinVariant;
 pub use partition::{pointer_sets, set_count, PointerSets};
+pub use workspace::Workspace;

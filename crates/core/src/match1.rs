@@ -11,11 +11,13 @@
 //! `n` nodes. Not optimal (Lemma 3), but the building block of
 //! everything else.
 
-use crate::finish::from_labels;
-use crate::labels::LabelSeq;
+use crate::finish::from_labels_core;
+use crate::labels::{convergence_rounds, relabel_rounds_in};
 use crate::matching::Matching;
+use crate::workspace::Workspace;
 use crate::CoinVariant;
-use parmatch_list::LinkedList;
+use parmatch_bits::Word;
+use parmatch_list::{LinkedList, NodeId};
 
 /// Result of [`match1`]: the matching plus the run's vital signs.
 #[derive(Debug, Clone)]
@@ -46,19 +48,50 @@ pub struct Match1Output {
 /// assert!(out.final_bound <= 9);     // the cascade's fixed point
 /// ```
 pub fn match1(list: &LinkedList, variant: CoinVariant) -> Match1Output {
-    if list.len() < 2 {
+    match1_in(list, variant, &mut Workspace::new())
+}
+
+/// [`match1`] running in a reusable [`Workspace`]: after the first call
+/// on a given list size every pass (fused relabel rounds, cut, walk,
+/// fix-up) works in preallocated buffers. The result is bit-identical to
+/// [`match1`] at every thread count.
+pub fn match1_in(list: &LinkedList, variant: CoinVariant, ws: &mut Workspace) -> Match1Output {
+    let n = list.len();
+    if n < 2 {
         return Match1Output {
-            matching: Matching::empty(list.len()),
+            matching: Matching::empty(n),
             rounds: 0,
             final_bound: 0,
         };
     }
-    let labels = LabelSeq::initial(list, variant).relabel_to_convergence(list);
-    let matching = from_labels(list, labels.labels());
+    ws.prepare_next_cyc(list);
+    ws.prepare_pred(list);
+    ws.prepare_address_labels(n);
+    let Workspace {
+        next_cyc,
+        pred,
+        labels_a,
+        labels_b,
+        cut,
+        mask,
+        matched,
+        ..
+    } = ws;
+    let next_cyc: &[NodeId] = next_cyc;
+    let rounds = convergence_rounds(n as Word);
+    let bound = relabel_rounds_in(
+        &|u: NodeId| next_cyc[u as usize],
+        labels_a,
+        labels_b,
+        n as Word,
+        rounds,
+        variant,
+    );
+    let matching = from_labels_core(list, labels_a, pred, cut, mask, matched);
     Match1Output {
         matching,
-        rounds: labels.rounds(),
-        final_bound: labels.bound(),
+        rounds,
+        final_bound: bound,
     }
 }
 
@@ -120,5 +153,37 @@ mod tests {
         let a = match1(&list, CoinVariant::Msb);
         let b = match1(&list, CoinVariant::Msb);
         assert_eq!(a.matching, b.matching);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh() {
+        // One workspace across different sizes and seeds (grow, shrink,
+        // same-size reuse) must give the same result as a fresh one.
+        let mut ws = crate::Workspace::new();
+        for (n, seed) in [(2000, 1u64), (500, 2), (500, 3), (3001, 4), (2, 5)] {
+            let list = random_list(n, seed);
+            let reused = match1_in(&list, CoinVariant::Msb, &mut ws);
+            let fresh = match1(&list, CoinVariant::Msb);
+            assert_eq!(reused.matching, fresh.matching, "n={n} seed={seed}");
+            assert_eq!(reused.rounds, fresh.rounds);
+            assert_eq!(reused.final_bound, fresh.final_bound);
+        }
+    }
+
+    #[test]
+    fn agrees_with_reference_composition() {
+        // match1 == LabelSeq-to-convergence + from_labels (the unfused,
+        // allocation-per-round reference path), bit for bit.
+        use crate::finish::from_labels;
+        use crate::labels::LabelSeq;
+        for seed in 0..4 {
+            let list = random_list(2500, seed);
+            let labels = LabelSeq::initial(&list, CoinVariant::Msb).relabel_to_convergence(&list);
+            let reference = from_labels(&list, labels.labels());
+            let out = match1(&list, CoinVariant::Msb);
+            assert_eq!(out.matching, reference, "seed {seed}");
+            assert_eq!(out.rounds, labels.rounds());
+            assert_eq!(out.final_bound, labels.bound());
+        }
     }
 }

@@ -14,11 +14,15 @@
 //! processors; the sort step is what stops it scaling further, which is
 //! exactly the gap Match4 closes.
 
-use crate::finish::greedy_by_sets;
+use crate::finish::greedy_core;
+use crate::labels::relabel_rounds_in;
 use crate::matching::Matching;
-use crate::partition::{pointer_sets, PointerSets};
+use crate::partition::{PointerSets, NO_POINTER};
+use crate::workspace::{Workspace, CHUNK};
 use crate::CoinVariant;
-use parmatch_list::LinkedList;
+use parmatch_bits::Word;
+use parmatch_list::{LinkedList, NodeId, NIL};
+use rayon::prelude::*;
 
 /// Result of [`match2`].
 #[derive(Debug, Clone)]
@@ -50,19 +54,75 @@ pub struct Match2Output {
 ///
 /// Panics if `rounds == 0`.
 pub fn match2(list: &LinkedList, rounds: u32, variant: CoinVariant) -> Match2Output {
+    match2_in(list, rounds, variant, &mut Workspace::new())
+}
+
+/// [`match2`] running in a reusable [`Workspace`]: fused relabel rounds,
+/// chunked counting-sort bucketing and a per-set parallel sweep, all in
+/// preallocated buffers (the returned partition is the only steady-state
+/// allocation). Bit-identical to [`match2`] at every thread count.
+pub fn match2_in(
+    list: &LinkedList,
+    rounds: u32,
+    variant: CoinVariant,
+    ws: &mut Workspace,
+) -> Match2Output {
     assert!(rounds >= 1, "at least one partition round required");
-    if list.len() < 2 {
-        let matching = Matching::empty(list.len());
+    let n = list.len();
+    if n < 2 {
         // an empty partition placeholder is not constructible for tiny
         // lists; synthesize a trivial one by construction on a 2-list is
         // impossible here, so short-circuit with an empty set array.
         return Match2Output {
-            matching,
-            partition: PointerSets::trivial(list.len()),
+            matching: Matching::empty(n),
+            partition: PointerSets::trivial(n),
         };
     }
-    let partition = pointer_sets(list, rounds, variant);
-    let matching = greedy_by_sets(list, &partition, None);
+    ws.prepare_next_cyc(list);
+    ws.prepare_address_labels(n);
+    let Workspace {
+        next_cyc,
+        labels_a,
+        labels_b,
+        done,
+        greedy_mask,
+        bucket_nodes,
+        hist,
+        set_starts,
+        ..
+    } = ws;
+    let next_cyc: &[NodeId] = next_cyc;
+    let bound = relabel_rounds_in(
+        &|u: NodeId| next_cyc[u as usize],
+        labels_a,
+        labels_b,
+        n as Word,
+        rounds,
+        variant,
+    );
+    let labels: &[Word] = labels_a;
+    let set: Vec<Word> = (0..n)
+        .into_par_iter()
+        .with_min_len(CHUNK)
+        .map(|v| {
+            if list.next_raw(v as NodeId) == NIL {
+                NO_POINTER
+            } else {
+                labels[v]
+            }
+        })
+        .collect();
+    let partition = PointerSets::from_raw(set, bound, rounds);
+    let matching = greedy_core(
+        list,
+        partition.as_slice(),
+        bound,
+        done,
+        greedy_mask,
+        bucket_nodes,
+        hist,
+        set_starts,
+    );
     Match2Output {
         matching,
         partition,

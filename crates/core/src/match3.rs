@@ -17,10 +17,11 @@
 //! fastest known; the table `T` and its size/constructibility trade-off
 //! live in [`crate::table`].
 
-use crate::finish::from_labels;
-use crate::labels::LabelSeq;
+use crate::finish::from_labels_core;
+use crate::labels::relabel_rounds_in;
 use crate::matching::Matching;
-use crate::table::{TableError, TupleTable};
+use crate::table::TableError;
+use crate::workspace::{Workspace, CHUNK};
 use crate::CoinVariant;
 use parmatch_bits::{g_of, ilog2_ceil, Word};
 use parmatch_list::{LinkedList, NodeId};
@@ -110,6 +111,19 @@ pub struct Match3Output {
 /// assert!(out.final_bound <= 16); // "a constant not related to n"
 /// ```
 pub fn match3(list: &LinkedList, config: Match3Config) -> Result<Match3Output, Match3Error> {
+    match3_in(list, config, &mut Workspace::new())
+}
+
+/// [`match3`] running in a reusable [`Workspace`]: fused crunch rounds,
+/// double-buffered pointer jumping, and a **cached lookup table** — a
+/// steady-state rerun with the same configuration skips the table
+/// enumeration entirely. Bit-identical to [`match3`] at every thread
+/// count.
+pub fn match3_in(
+    list: &LinkedList,
+    config: Match3Config,
+    ws: &mut Workspace,
+) -> Result<Match3Output, Match3Error> {
     if config.crunch_rounds == 0 {
         return Err(Match3Error::NoCrunch);
     }
@@ -124,9 +138,29 @@ pub fn match3(list: &LinkedList, config: Match3Config) -> Result<Match3Output, M
         });
     }
 
-    // Step 2: crunch.
-    let crunched = LabelSeq::initial(list, config.variant).relabel_k(list, config.crunch_rounds);
-    let w = crunched.width_bits();
+    ws.prepare_next_cyc(list);
+    ws.prepare_pred(list);
+    ws.prepare_address_labels(n);
+
+    // Step 2: crunch (fused rounds).
+    let crunch_bound = {
+        let Workspace {
+            next_cyc,
+            labels_a,
+            labels_b,
+            ..
+        } = &mut *ws;
+        let next_cyc: &[NodeId] = next_cyc;
+        relabel_rounds_in(
+            &|u: NodeId| next_cyc[u as usize],
+            labels_a,
+            labels_b,
+            n as Word,
+            config.crunch_rounds,
+            config.variant,
+        )
+    };
+    let w = ilog2_ceil(crunch_bound).max(1);
 
     // Pick j: ≈ log G(n), capped so the table index (w·2^j bits) fits.
     let j = match config.jump_rounds {
@@ -141,33 +175,78 @@ pub fn match3(list: &LinkedList, config: Match3Config) -> Result<Match3Output, M
         }
     };
     let m = 1u32 << j; // window length
-    let table = TupleTable::build(w, m, config.variant, config.max_table_bits)?;
+    ws.table_ensure(w, m, config.variant, config.max_table_bits)?;
+
+    let Workspace {
+        next_cyc,
+        pred,
+        labels_a,
+        labels_b,
+        nxt_a,
+        nxt_b,
+        cut,
+        mask,
+        matched,
+        table_cache,
+        ..
+    } = ws;
+    let table = &table_cache.as_ref().expect("table just ensured").1;
 
     // Step 3: pointer-jumping concatenation along the *cyclic* order (so
     // windows near the tail wrap to the head, keeping the label sequence
     // adjacent-distinct — see crate::table).
-    let mut labels: Vec<Word> = crunched.labels().to_vec();
-    let mut nxt: Vec<NodeId> = (0..n as NodeId).map(|v| list.next_cyclic(v)).collect();
+    nxt_a.clone_from(next_cyc);
+    nxt_b.resize(n, 0);
     let mut width = w;
     for _ in 0..j {
-        let new_labels: Vec<Word> = (0..n)
-            .into_par_iter()
-            .map(|v| (labels[v] << width) | labels[nxt[v] as usize])
-            .collect();
-        let new_nxt: Vec<NodeId> = (0..n)
-            .into_par_iter()
-            .map(|v| nxt[nxt[v] as usize])
-            .collect();
-        labels = new_labels;
-        nxt = new_nxt;
+        {
+            let la: &[Word] = labels_a;
+            let nx: &[NodeId] = nxt_a;
+            labels_b
+                .par_chunks_mut(CHUNK)
+                .enumerate()
+                .for_each(|(ci, chunk)| {
+                    let base = ci * CHUNK;
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        let v = base + i;
+                        *slot = (la[v] << width) | la[nx[v] as usize];
+                    }
+                });
+        }
+        {
+            let nx: &[NodeId] = nxt_a;
+            nxt_b
+                .par_chunks_mut(CHUNK)
+                .enumerate()
+                .for_each(|(ci, chunk)| {
+                    let base = ci * CHUNK;
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        *slot = nx[nx[base + i] as usize];
+                    }
+                });
+        }
+        std::mem::swap(labels_a, labels_b);
+        std::mem::swap(nxt_a, nxt_b);
         width *= 2;
     }
 
     // Step 4: one probe each.
-    let final_labels: Vec<Word> = labels.par_iter().map(|&c| table.probe(c)).collect();
+    {
+        let la: &[Word] = labels_a;
+        labels_b
+            .par_chunks_mut(CHUNK)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let base = ci * CHUNK;
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = table.probe(la[base + i]);
+                }
+            });
+    }
+    std::mem::swap(labels_a, labels_b);
 
     // Steps 5–6: Match1 steps 3–4.
-    let matching = from_labels(list, &final_labels);
+    let matching = from_labels_core(list, labels_a, pred, cut, mask, matched);
     Ok(Match3Output {
         matching,
         crunch_rounds: config.crunch_rounds,

@@ -20,14 +20,17 @@
 //! available by pre-partitioning with [`crate::table`] — the experiment
 //! drivers exercise both.
 
-use crate::finish::greedy_by_sets;
+use crate::finish::{greedy_by_sets, greedy_core};
+use crate::labels::relabel_rounds_in;
 use crate::matching::Matching;
-use crate::partition::{pointer_sets, PointerSets, NO_POINTER};
-use crate::walkdown::{color_pointers, Grid, UNCOLORED};
+use crate::partition::{PointerSets, NO_POINTER};
+use crate::walkdown::{color_pointers, walkdown1, walkdown2_in, Grid, UNCOLORED};
+use crate::workspace::{Workspace, CHUNK};
 use crate::CoinVariant;
 use parmatch_bits::Word;
-use parmatch_list::LinkedList;
+use parmatch_list::{LinkedList, NodeId, NIL};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Result of [`match4`] with the grid's vital signs.
 #[derive(Debug, Clone)]
@@ -57,6 +60,23 @@ pub fn match4(list: &LinkedList, i: u32) -> Match4Output {
 
 /// [`match4`] with an explicit coin-tossing variant.
 pub fn match4_with(list: &LinkedList, i: u32, variant: CoinVariant) -> Match4Output {
+    match4_in(list, i, variant, &mut Workspace::new())
+}
+
+/// [`match4`] running in a reusable [`Workspace`]: fused step-1 rounds,
+/// the grid built into loaned flat storage, walkdown colors and the
+/// greedy sweep in preallocated buffers. Bit-identical to
+/// [`match4_with`] at every thread count.
+///
+/// # Panics
+///
+/// Panics if `i == 0`.
+pub fn match4_in(
+    list: &LinkedList,
+    i: u32,
+    variant: CoinVariant,
+    ws: &mut Workspace,
+) -> Match4Output {
     assert!(i >= 1, "partition rounds i must be at least 1");
     let n = list.len();
     if n < 2 {
@@ -68,8 +88,135 @@ pub fn match4_with(list: &LinkedList, i: u32, variant: CoinVariant) -> Match4Out
             walk_rounds: 0,
         };
     }
-    let ps = pointer_sets(list, i, variant);
-    match4_from_partition(list, &ps)
+    ws.prepare_next_cyc(list);
+    ws.prepare_pred(list);
+    ws.prepare_address_labels(n);
+    ws.reset_colors(n);
+    let Workspace {
+        next_cyc,
+        pred,
+        labels_a,
+        labels_b,
+        sets,
+        grid_pairs,
+        row_scatter,
+        grid_store,
+        colors,
+        walk_state,
+        done,
+        greedy_mask,
+        bucket_nodes,
+        hist,
+        set_starts,
+        ..
+    } = ws;
+
+    // Step 1: the matching partition, as raw per-tail set numbers.
+    let next_cyc: &[NodeId] = next_cyc;
+    let bound = relabel_rounds_in(
+        &|u: NodeId| next_cyc[u as usize],
+        labels_a,
+        labels_b,
+        n as Word,
+        i,
+        variant,
+    );
+    sets.resize(n, 0);
+    {
+        let labels: &[Word] = labels_a;
+        sets.par_chunks_mut(CHUNK)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let base = ci * CHUNK;
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    let v = (base + k) as NodeId;
+                    *slot = if list.next_raw(v) == NIL {
+                        NO_POINTER
+                    } else {
+                        labels[base + k]
+                    };
+                }
+            });
+    }
+
+    // Distinct sets of the step-1 partition (diagnostic), via per-chunk
+    // bitmasks in the histogram scratch — bound ≤ 2·64 + 1 < 256 bits.
+    let nchunks = n.div_ceil(CHUNK).max(1);
+    hist.clear();
+    hist.resize(nchunks * 4, 0);
+    {
+        let s: &[Word] = sets;
+        hist.par_chunks_mut(4).enumerate().for_each(|(ci, row)| {
+            for &k in &s[ci * CHUNK..((ci + 1) * CHUNK).min(n)] {
+                if k != NO_POINTER {
+                    debug_assert!(k < 256);
+                    row[(k >> 6) as usize] |= 1 << (k & 63);
+                }
+            }
+        });
+    }
+    let mut seen = [0usize; 4];
+    for row in hist.chunks(4) {
+        for (q, &word) in row.iter().enumerate() {
+            seen[q] |= word;
+        }
+    }
+    let distinct_sets: usize = seen.iter().map(|w| w.count_ones() as usize).sum();
+
+    // Steps 2–4: the grid and both walkdowns.
+    let x = bound as usize;
+    let grid = Grid::new_in(
+        list,
+        sets,
+        bound,
+        x,
+        grid_pairs,
+        row_scatter,
+        std::mem::take(grid_store),
+    );
+    let pred: &[NodeId] = pred;
+    let colors: &[AtomicU8] = colors;
+    let r1 = walkdown1(list, &grid, pred, colors);
+    let r2 = walkdown2_in(list, &grid, pred, colors, walk_state);
+    #[cfg(debug_assertions)]
+    {
+        let plain: Vec<u8> = colors.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+        debug_assert!(crate::verify::coloring_is_proper(list, &plain, 3));
+    }
+
+    // Step 5: the 3 color classes are matching sets; sweep them greedily.
+    sets.par_chunks_mut(CHUNK)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            let base = ci * CHUNK;
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let c = colors[base + k].load(Ordering::Relaxed);
+                *slot = if c == UNCOLORED {
+                    NO_POINTER
+                } else {
+                    Word::from(c)
+                };
+            }
+        });
+    let matching = greedy_core(
+        list,
+        sets,
+        3,
+        done,
+        greedy_mask,
+        bucket_nodes,
+        hist,
+        set_starts,
+    );
+    let cols = grid.cols();
+    *grid_store = grid.into_storage();
+    Match4Output {
+        matching,
+        rows: x,
+        cols,
+        distinct_sets,
+        walk_rounds: r1 + r2,
+    }
 }
 
 /// Steps 2–5 of Match4 on an externally supplied partition (this is how

@@ -83,11 +83,13 @@ impl PointerSets {
     ///
     /// Panics if any entry is neither [`NO_POINTER`] nor below `bound`.
     pub fn from_raw(set: Vec<Word>, bound: Word, rounds: u32) -> Self {
-        for (v, &s) in set.iter().enumerate() {
-            assert!(
-                s == NO_POINTER || s < bound,
-                "set[{v}] = {s} out of bound {bound}"
-            );
+        if !set.par_iter().all(|&s| s == NO_POINTER || s < bound) {
+            let (v, &s) = set
+                .iter()
+                .enumerate()
+                .find(|&(_, &s)| s != NO_POINTER && s >= bound)
+                .expect("parallel check found an offender");
+            panic!("set[{v}] = {s} out of bound {bound}");
         }
         Self { set, bound, rounds }
     }
@@ -159,7 +161,8 @@ impl PointerSets {
 ///
 /// # Panics
 ///
-/// Panics if the list has fewer than 2 nodes or `rounds == 0`.
+/// Panics if `rounds == 0`. (Lists with fewer than 2 nodes yield a
+/// partition with no pointers.)
 pub fn pointer_sets(list: &LinkedList, rounds: u32, variant: CoinVariant) -> PointerSets {
     assert!(rounds >= 1, "at least one round required");
     let labels = LabelSeq::initial(list, variant).relabel_k(list, rounds);

@@ -30,32 +30,54 @@
 //! the partitions" the paper alludes to is simply sharing one palette.
 
 use crate::partition::{PointerSets, NO_POINTER};
+use crate::workspace::CHUNK;
 use parmatch_bits::Word;
 use parmatch_list::{LinkedList, NodeId, NIL};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
 
 /// Color value meaning "not yet colored".
 pub const UNCOLORED: u8 = u8::MAX;
 
+/// The flat per-node arrays a [`Grid`] is built into. A
+/// [`crate::Workspace`] loans this storage to `Grid::new_in` and takes
+/// it back via `Grid::into_storage`, so repeated grid builds reuse the
+/// same allocations.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct GridStorage {
+    /// All columns' sorted nodes, column-major: column `c` occupies
+    /// slots `[c·x, min((c+1)·x, n))`.
+    pub(crate) elems: Vec<NodeId>,
+    /// Sort key of `elems[i]` (the concatenated `A` arrays).
+    pub(crate) keys: Vec<Word>,
+    /// `row_of[v]` = the row node `v` landed in after its column's sort.
+    pub(crate) row_of: Vec<u32>,
+}
+
 /// The two-dimensional view of the list plus the per-column sort.
+///
+/// Stored as flat column-major arrays (see [`GridStorage`]) rather than
+/// nested `Vec<Vec<_>>`: one allocation per array, and the per-column
+/// sorts become `par_chunks_mut(x)` over the flat pair array.
 #[derive(Debug, Clone)]
 pub struct Grid {
     /// Rows per column (`x`); also the exclusive bound on sort keys.
     x: usize,
     /// Number of columns (`y` — one virtual processor each).
     cols: usize,
-    /// `col_elems[c]` = the column's nodes sorted ascending by sort key.
-    col_elems: Vec<Vec<NodeId>>,
-    /// `keys[c][r]` = sort key of `col_elems[c][r]` (the `A` array).
-    keys: Vec<Vec<Word>>,
-    /// `row_of[v]` = the row node `v` landed in after its column's sort.
+    /// Number of nodes (`elems.len()`; the last column may be ragged).
+    n: usize,
+    /// See [`GridStorage::elems`].
+    elems: Vec<NodeId>,
+    /// See [`GridStorage::keys`].
+    keys: Vec<Word>,
+    /// See [`GridStorage::row_of`].
     row_of: Vec<u32>,
 }
 
 impl Grid {
     /// Build the grid: column `c` owns array slots `[c·x, (c+1)·x)`
-    /// (the last column may be ragged) and counting-sorts them by the
+    /// (the last column may be ragged) and sorts them by the
     /// pointer set number; elements without a pointer (the list tail)
     /// use key `x − 1` so they sort last-ish and the pipeline can pass
     /// them.
@@ -65,61 +87,118 @@ impl Grid {
     /// Panics if `x < ps.bound()` (set keys must fit below the row
     /// count for Lemma 7's schedule to terminate) or `x == 0`.
     pub fn new(list: &LinkedList, ps: &PointerSets, x: usize) -> Self {
+        let mut pairs = Vec::new();
+        let mut row_scatter = Vec::new();
+        Self::new_in(
+            list,
+            ps.as_slice(),
+            ps.bound(),
+            x,
+            &mut pairs,
+            &mut row_scatter,
+            GridStorage::default(),
+        )
+    }
+
+    /// [`Grid::new`] over raw set values, building into caller-provided
+    /// scratch and storage (the zero-allocation path of the `*_in`
+    /// drivers). The column sort is `sort_unstable` on `(key, node)`
+    /// pairs — ties broken by ascending node id, which reproduces the
+    /// stable counting-sort order exactly.
+    pub(crate) fn new_in(
+        list: &LinkedList,
+        sets: &[Word],
+        bound: Word,
+        x: usize,
+        pairs: &mut Vec<(Word, NodeId)>,
+        row_scatter: &mut Vec<AtomicU32>,
+        mut storage: GridStorage,
+    ) -> Self {
         let n = list.len();
         assert!(x > 0, "row count must be positive");
         assert!(
-            (x as Word) >= ps.bound(),
-            "row count {x} smaller than set bound {}",
-            ps.bound()
+            (x as Word) >= bound,
+            "row count {x} smaller than set bound {bound}"
         );
+        assert_eq!(sets.len(), n, "set array length mismatch");
         let cols = n.div_ceil(x);
-        let sort_key = |v: NodeId| -> Word {
-            match ps.set_of(v) {
-                NO_POINTER => (x - 1) as Word,
-                s => s,
-            }
-        };
-        let col_elems: Vec<Vec<NodeId>> = (0..cols)
-            .into_par_iter()
-            .map(|c| {
-                let lo = c * x;
-                let hi = ((c + 1) * x).min(n);
-                // sequential counting sort of the column by key
-                let mut count = vec![0usize; x];
-                for v in lo..hi {
-                    count[sort_key(v as NodeId) as usize] += 1;
+
+        pairs.resize(n, (0, 0));
+        pairs
+            .par_chunks_mut(CHUNK)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let base = ci * CHUNK;
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let key = match sets[base + i] {
+                        NO_POINTER => (x - 1) as Word,
+                        s => s,
+                    };
+                    *slot = (key, (base + i) as NodeId);
                 }
-                let mut pos = vec![0usize; x];
-                let mut acc = 0usize;
-                for (k, &cnt) in count.iter().enumerate() {
-                    pos[k] = acc;
-                    acc += cnt;
+            });
+        // One chunk of size x = one column: sort them all in parallel.
+        pairs.par_chunks_mut(x).for_each(|col| col.sort_unstable());
+
+        storage.elems.resize(n, 0);
+        storage.keys.resize(n, 0);
+        let pairs_ref: &[(Word, NodeId)] = pairs;
+        storage
+            .elems
+            .par_chunks_mut(CHUNK)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let base = ci * CHUNK;
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = pairs_ref[base + i].1;
                 }
-                let mut out = vec![0 as NodeId; hi - lo];
-                for v in lo..hi {
-                    let k = sort_key(v as NodeId) as usize;
-                    out[pos[k]] = v as NodeId;
-                    pos[k] += 1;
+            });
+        storage
+            .keys
+            .par_chunks_mut(CHUNK)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let base = ci * CHUNK;
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = pairs_ref[base + i].0;
                 }
-                out
-            })
-            .collect();
-        let keys: Vec<Vec<Word>> = col_elems
-            .par_iter()
-            .map(|col| col.iter().map(|&v| sort_key(v)).collect())
-            .collect();
-        let mut row_of = vec![0u32; n];
-        for col in &col_elems {
-            for (r, &v) in col.iter().enumerate() {
-                row_of[v as usize] = r as u32;
-            }
-        }
+            });
+
+        // row_of scatter: slot index i holds row i % x of its column
+        // (columns start at multiples of x), every node written once.
+        row_scatter.resize_with(n, || AtomicU32::new(0));
+        let rs: &[AtomicU32] = row_scatter;
+        (0..n).into_par_iter().with_min_len(CHUNK).for_each(|i| {
+            rs[pairs_ref[i].1 as usize].store((i % x) as u32, Ordering::Relaxed);
+        });
+        storage.row_of.resize(n, 0);
+        storage
+            .row_of
+            .par_chunks_mut(CHUNK)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let base = ci * CHUNK;
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = rs[base + i].load(Ordering::Relaxed);
+                }
+            });
+
         Self {
             x,
             cols,
-            col_elems,
-            keys,
-            row_of,
+            n,
+            elems: storage.elems,
+            keys: storage.keys,
+            row_of: storage.row_of,
+        }
+    }
+
+    /// Dismantle the grid, returning its storage for reuse.
+    pub(crate) fn into_storage(self) -> GridStorage {
+        GridStorage {
+            elems: self.elems,
+            keys: self.keys,
+            row_of: self.row_of,
         }
     }
 
@@ -150,12 +229,12 @@ impl Grid {
     /// The sorted key column (`A` array) of column `c` — exposed for the
     /// Lemma 7 experiments.
     pub fn column_keys(&self, c: usize) -> &[Word] {
-        &self.keys[c]
+        &self.keys[c * self.x..((c + 1) * self.x).min(self.n)]
     }
 
     /// The sorted node column of column `c`.
     pub fn column_elems(&self, c: usize) -> &[NodeId] {
-        &self.col_elems[c]
+        &self.elems[c * self.x..((c + 1) * self.x).min(self.n)]
     }
 }
 
@@ -207,10 +286,24 @@ pub fn walkdown1(list: &LinkedList, grid: &Grid, pred: &[NodeId], colors: &[Atom
 /// count/index pipeline in `2x − 1` lockstep steps. Returns the number
 /// of steps executed.
 pub fn walkdown2(list: &LinkedList, grid: &Grid, pred: &[NodeId], colors: &[AtomicU8]) -> usize {
+    let mut state = Vec::new();
+    walkdown2_in(list, grid, pred, colors, &mut state)
+}
+
+/// [`walkdown2`] with the per-column pipeline state in a caller-provided
+/// buffer (the zero-allocation path).
+pub(crate) fn walkdown2_in(
+    list: &LinkedList,
+    grid: &Grid,
+    pred: &[NodeId],
+    colors: &[AtomicU8],
+    state: &mut Vec<(usize, Word)>,
+) -> usize {
     let x = grid.rows();
     let steps = 2 * x - 1;
-    // per-column pipeline state
-    let mut state: Vec<(usize, Word)> = vec![(0, 0); grid.cols()]; // (index, count)
+    // per-column (index, count) pipeline state
+    state.clear();
+    state.resize(grid.cols(), (0, 0));
     for _k in 0..steps {
         state
             .par_iter_mut()

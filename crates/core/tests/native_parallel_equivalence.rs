@@ -1,0 +1,210 @@
+//! Differential tests for the native parallel pipeline: the
+//! workspace-backed `*_in` drivers must be **bit-identical** to the
+//! reference composition paths at every thread count, and a reused
+//! [`Workspace`] must never leak state between runs.
+//!
+//! Thread counts are driven through [`rayon::ThreadPoolBuilder`] — the
+//! shim's pool honors `install`, so each block below re-runs the whole
+//! pipeline on pools of 1, 2 and 8 workers and compares raw outputs.
+
+use parmatch_core::finish::from_labels;
+use parmatch_core::{
+    match1, match1_in, match2, match2_in, match3, match3_in, match4_in, match4_with, CoinVariant,
+    LabelSeq, Match3Config, Matching, Workspace,
+};
+use parmatch_list::{blocked_list, random_list, reversed_list, sequential_list, LinkedList};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn on_pool<R>(threads: usize, op: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+        .install(op)
+}
+
+fn layouts() -> Vec<LinkedList> {
+    vec![
+        random_list(5000, 11),
+        random_list(4097, 12),
+        sequential_list(3000),
+        reversed_list(2048),
+        blocked_list(3001, 64, 13),
+        random_list(2, 14),
+        random_list(3, 15),
+    ]
+}
+
+/// match1 through one reused workspace equals the fresh-allocation
+/// public driver, across thread counts and layouts.
+#[test]
+fn match1_bit_identical_across_threads() {
+    for variant in [CoinVariant::Msb, CoinVariant::Lsb] {
+        let mut reference: Vec<Matching> = Vec::new();
+        for (t, &threads) in THREADS.iter().enumerate() {
+            let outs: Vec<Matching> = on_pool(threads, || {
+                let mut ws = Workspace::new();
+                layouts()
+                    .iter()
+                    .map(|list| {
+                        let fresh = match1(list, variant);
+                        let reused = match1_in(list, variant, &mut ws);
+                        assert_eq!(fresh.matching, reused.matching, "ws reuse differs");
+                        assert_eq!(fresh.rounds, reused.rounds);
+                        assert_eq!(fresh.final_bound, reused.final_bound);
+                        reused.matching
+                    })
+                    .collect()
+            });
+            if t == 0 {
+                reference = outs;
+            } else {
+                assert_eq!(reference, outs, "thread count {threads} diverged");
+            }
+        }
+    }
+}
+
+/// match2 likewise, over several round counts.
+#[test]
+fn match2_bit_identical_across_threads() {
+    let mut reference: Vec<Matching> = Vec::new();
+    for (t, &threads) in THREADS.iter().enumerate() {
+        let outs: Vec<Matching> = on_pool(threads, || {
+            let mut ws = Workspace::new();
+            let mut all = Vec::new();
+            for list in &layouts() {
+                for rounds in [1u32, 2, 3] {
+                    let fresh = match2(list, rounds, CoinVariant::Msb);
+                    let reused = match2_in(list, rounds, CoinVariant::Msb, &mut ws);
+                    assert_eq!(fresh.matching, reused.matching, "ws reuse differs");
+                    all.push(reused.matching);
+                }
+            }
+            all
+        });
+        if t == 0 {
+            reference = outs;
+        } else {
+            assert_eq!(reference, outs, "thread count {threads} diverged");
+        }
+    }
+}
+
+/// match3 likewise — the cached table must not change results when hit.
+#[test]
+fn match3_bit_identical_across_threads() {
+    let cfg = Match3Config::default();
+    let mut reference: Vec<Matching> = Vec::new();
+    for (t, &threads) in THREADS.iter().enumerate() {
+        let outs: Vec<Matching> = on_pool(threads, || {
+            let mut ws = Workspace::new();
+            layouts()
+                .iter()
+                .map(|list| {
+                    let fresh = match3(list, cfg).unwrap();
+                    // second call hits the table cache
+                    let reused = match3_in(list, cfg, &mut ws).unwrap();
+                    let cached = match3_in(list, cfg, &mut ws).unwrap();
+                    assert_eq!(fresh.matching, reused.matching, "ws reuse differs");
+                    assert_eq!(reused.matching, cached.matching, "table cache differs");
+                    assert_eq!(fresh.final_bound, reused.final_bound);
+                    reused.matching
+                })
+                .collect()
+        });
+        if t == 0 {
+            reference = outs;
+        } else {
+            assert_eq!(reference, outs, "thread count {threads} diverged");
+        }
+    }
+}
+
+/// match4 likewise, over i ∈ {1, 2, 3}; diagnostics must agree too.
+#[test]
+fn match4_bit_identical_across_threads() {
+    let mut reference: Vec<Matching> = Vec::new();
+    for (t, &threads) in THREADS.iter().enumerate() {
+        let outs: Vec<Matching> = on_pool(threads, || {
+            let mut ws = Workspace::new();
+            let mut all = Vec::new();
+            for list in &layouts() {
+                for i in [1u32, 2, 3] {
+                    let fresh = match4_with(list, i, CoinVariant::Msb);
+                    let reused = match4_in(list, i, CoinVariant::Msb, &mut ws);
+                    assert_eq!(fresh.matching, reused.matching, "ws reuse differs");
+                    assert_eq!(fresh.rows, reused.rows);
+                    assert_eq!(fresh.cols, reused.cols);
+                    assert_eq!(fresh.distinct_sets, reused.distinct_sets);
+                    assert_eq!(fresh.walk_rounds, reused.walk_rounds);
+                    all.push(reused.matching);
+                }
+            }
+            all
+        });
+        if t == 0 {
+            reference = outs;
+        } else {
+            assert_eq!(reference, outs, "thread count {threads} diverged");
+        }
+    }
+}
+
+/// The fused relabel path (through `relabel_k` / `relabel_to_convergence`)
+/// is identical across thread counts, label for label.
+#[test]
+fn relabel_convergence_identical_across_threads() {
+    for list in [random_list(6000, 21), blocked_list(2500, 16, 22)] {
+        let mut reference: Option<(Vec<u64>, u64, u32)> = None;
+        for &threads in &THREADS {
+            let got = on_pool(threads, || {
+                let l = LabelSeq::initial(&list, CoinVariant::Msb).relabel_to_convergence(&list);
+                (l.labels().to_vec(), l.bound(), l.rounds())
+            });
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => assert_eq!(*r, got, "thread count {threads} diverged"),
+            }
+        }
+    }
+}
+
+/// The finisher (cut + walk + fix-up) produces identical matchings from
+/// identical labels at every thread count — the walkdown/finish half of
+/// the pipeline isolated from relabeling.
+#[test]
+fn finish_from_labels_identical_across_threads() {
+    let list = random_list(4000, 31);
+    let labels = LabelSeq::initial(&list, CoinVariant::Msb).relabel_to_convergence(&list);
+    let mut reference: Option<Matching> = None;
+    for &threads in &THREADS {
+        let m = on_pool(threads, || from_labels(&list, labels.labels()));
+        match &reference {
+            None => reference = Some(m),
+            Some(r) => assert_eq!(*r, m, "thread count {threads} diverged"),
+        }
+    }
+}
+
+/// One workspace shared across *different* algorithms and sizes (the
+/// benchmark loop's usage pattern) never contaminates results.
+#[test]
+fn interleaved_workspace_reuse_is_clean() {
+    let mut ws = Workspace::new();
+    let sizes = [4000usize, 100, 2500, 2, 900];
+    for (k, &n) in sizes.iter().enumerate() {
+        let list = random_list(n, 40 + k as u64);
+        let m1 = match1_in(&list, CoinVariant::Msb, &mut ws).matching;
+        let m2 = match2_in(&list, 2, CoinVariant::Msb, &mut ws).matching;
+        let m3 = match3_in(&list, Match3Config::default(), &mut ws)
+            .unwrap()
+            .matching;
+        let m4 = match4_in(&list, 2, CoinVariant::Msb, &mut ws).matching;
+        assert_eq!(m1, match1(&list, CoinVariant::Msb).matching);
+        assert_eq!(m2, match2(&list, 2, CoinVariant::Msb).matching);
+        assert_eq!(m3, match3(&list, Match3Config::default()).unwrap().matching);
+        assert_eq!(m4, match4_with(&list, 2, CoinVariant::Msb).matching);
+    }
+}

@@ -10,8 +10,8 @@ use parmatch_core::pram_impl::{
     match1_pram, match2_pram, match3_pram, match4_pram, rank_pram, wyllie_pram,
 };
 use parmatch_core::{
-    f_pair, match1, match2, match3, match4_with, pointer_sets, verify, CoinVariant, LabelSeq,
-    Match3Config,
+    f_pair, match1, match1_in, match2, match2_in, match3, match3_in, match4_in, match4_with,
+    pointer_sets, verify, CoinVariant, LabelSeq, Match3Config, Workspace,
 };
 use parmatch_list::{blocked_list, random_list, LinkedList, NodeId};
 use parmatch_pram::ExecMode;
@@ -77,6 +77,22 @@ proptest! {
         }
     }
 
+    /// The workspace-backed drivers are bit-identical to the fresh
+    /// allocation paths on arbitrary lists — including through a reused
+    /// workspace warmed up on a *different* list.
+    #[test]
+    fn workspace_drivers_bit_identical(list in list_strategy(), warm in list_strategy()) {
+        let mut ws = Workspace::new();
+        // warm the arena on an unrelated size so stale state would show
+        let _ = match4_in(&warm, 2, CoinVariant::Msb, &mut ws);
+        let m1 = match1_in(&list, CoinVariant::Msb, &mut ws);
+        prop_assert_eq!(m1.matching, match1(&list, CoinVariant::Msb).matching);
+        let m2 = match2_in(&list, 2, CoinVariant::Msb, &mut ws);
+        prop_assert_eq!(m2.matching, match2(&list, 2, CoinVariant::Msb).matching);
+        let m4 = match4_in(&list, 2, CoinVariant::Msb, &mut ws);
+        prop_assert_eq!(m4.matching, match4_with(&list, 2, CoinVariant::Msb).matching);
+    }
+
     /// Relabeling a list is permutation-equivariant in the trivial
     /// sense: the matching depends only on the layout, not on any
     /// global state (two identical runs agree).
@@ -110,6 +126,21 @@ proptest! {
         verify::assert_maximal_matching(&list, &m3);
         let m4 = match4_with(&list, 2, variant).matching;
         verify::assert_maximal_matching(&list, &m4);
+    }
+
+    /// Workspace-backed Match3 (with its cached lookup table) equals
+    /// fresh Match3 on arbitrary lists. (Slow tier: builds the default
+    /// jump table per case on a cache miss.)
+    #[test]
+    fn workspace_match3_bit_identical(list in list_strategy()) {
+        let cfg = Match3Config::default();
+        let mut ws = Workspace::new();
+        let fresh = match3(&list, cfg).unwrap();
+        let a = match3_in(&list, cfg, &mut ws).unwrap();
+        let b = match3_in(&list, cfg, &mut ws).unwrap(); // table-cache hit
+        prop_assert_eq!(&fresh.matching, &a.matching);
+        prop_assert_eq!(&a.matching, &b.matching);
+        prop_assert_eq!(fresh.final_bound, a.final_bound);
     }
 
     /// PRAM Match1 equals native Match1 exactly (same algorithm, same

@@ -1,6 +1,7 @@
 //! The linked-list-in-array representation of Fig. 1.
 
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Array index of a list node. The paper's "addresses" are exactly these
 /// indices; 32 bits comfortably cover the problem sizes of the
@@ -179,20 +180,15 @@ impl LinkedList {
     /// (`pred[next[u]] := u` with distinct targets).
     pub fn pred_array(&self) -> Vec<NodeId> {
         let n = self.len();
-        let mut pred = vec![NIL; n];
         // Writes are disjoint because next is injective on non-tail
-        // nodes; express it as an index computation to stay in safe Rust.
-        let mut pairs: Vec<(NodeId, NodeId)> = self
-            .next
-            .par_iter()
-            .enumerate()
-            .filter_map(|(u, &v)| (v != NIL).then_some((v, u as NodeId)))
-            .collect();
-        pairs.par_sort_unstable();
-        for (v, u) in pairs {
-            pred[v as usize] = u;
-        }
-        pred
+        // nodes; the atomic stores keep the scatter in safe Rust.
+        let pred: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NIL)).collect();
+        self.next.par_iter().enumerate().for_each(|(u, &v)| {
+            if v != NIL {
+                pred[v as usize].store(u as NodeId, Ordering::Relaxed);
+            }
+        });
+        pred.into_iter().map(AtomicU32::into_inner).collect()
     }
 
     /// The nodes in logical list order (sequential walk from the head).

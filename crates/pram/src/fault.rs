@@ -184,7 +184,11 @@ impl FaultPlan {
                     },
                     FaultClass::DropWrite => FaultKind::DropWrite,
                     FaultClass::DuplicateWrite => FaultKind::DuplicateWrite {
-                        offset: if mix(&mut st).is_multiple_of(2) { 1 } else { -1 },
+                        offset: if mix(&mut st).is_multiple_of(2) {
+                            1
+                        } else {
+                            -1
+                        },
                     },
                     FaultClass::Stall => FaultKind::Stall {
                         steps: 1 + mix(&mut st) % 3,

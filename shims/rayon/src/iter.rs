@@ -14,8 +14,29 @@ use std::sync::Arc;
 // Executor
 // ---------------------------------------------------------------------
 
+/// Split `p` into at most `chunks` contiguous pieces (recursive halving
+/// — the same boundaries for a given `(len, chunks)` regardless of how
+/// the pieces are later scheduled).
+fn split_into<P: ParallelIterator>(p: P, chunks: usize, out: &mut Vec<P>) {
+    let len = p.par_len();
+    if chunks <= 1 || len <= 1 {
+        out.push(p);
+        return;
+    }
+    let lc = chunks / 2;
+    let rc = chunks - lc;
+    let mid = len * lc / chunks;
+    if mid == 0 || mid == len {
+        out.push(p);
+        return;
+    }
+    let (l, r) = p.split_at(mid);
+    split_into(l, lc, out);
+    split_into(r, rc, out);
+}
+
 /// Split `p` into at most `chunks` pieces, evaluate each with `eval`
-/// (on scoped threads when `chunks > 1`) and return the results in
+/// (on the persistent pool when `chunks > 1`) and return the results in
 /// source order.
 fn map_chunks<P, R, E>(p: P, chunks: usize, eval: &E) -> Vec<R>
 where
@@ -23,24 +44,16 @@ where
     R: Send,
     E: Fn(P) -> R + Sync,
 {
-    let len = p.par_len();
-    if chunks <= 1 || len <= 1 {
+    if chunks <= 1 || p.par_len() <= 1 {
         return vec![eval(p)];
     }
-    let lc = chunks / 2;
-    let rc = chunks - lc;
-    let mid = len * lc / chunks;
-    if mid == 0 || mid == len {
-        return vec![eval(p)];
+    let mut parts = Vec::with_capacity(chunks);
+    split_into(p, chunks, &mut parts);
+    if parts.len() == 1 {
+        let only = parts.pop().expect("split produced a part");
+        return vec![eval(only)];
     }
-    let (l, r) = p.split_at(mid);
-    std::thread::scope(|s| {
-        let hr = s.spawn(move || map_chunks(r, rc, eval));
-        let mut lv = map_chunks(l, lc, eval);
-        let rv = hr.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
-        lv.extend(rv);
-        lv
-    })
+    crate::pool::run_ordered(parts, eval)
 }
 
 fn plan_chunks<P: ParallelIterator>(p: &P) -> usize {
@@ -740,19 +753,65 @@ where
     }
 }
 
-/// Sorting entry points on mutable slices.
+/// Parallel iterator over disjoint mutable chunks of a slice.
+pub struct ChunksMutIter<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMutIter<'a, T> {
+    type Item = &'a mut [T];
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size).max(1)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let at = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(at);
+        (
+            Self {
+                slice: l,
+                size: self.size,
+            },
+            Self {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+    fn drive<F: FnMut(Self::Item)>(self, mut sink: F) {
+        if self.slice.is_empty() {
+            return;
+        }
+        for c in self.slice.chunks_mut(self.size) {
+            sink(c);
+        }
+    }
+}
+
+/// Sorting and chunking entry points on mutable slices.
 pub trait ParallelSliceMut<T: Send> {
     /// View as a mutable slice.
     fn as_parallel_slice_mut(&mut self) -> &mut [T];
 
-    /// Sort (unstable). The shim sorts sequentially — deterministic and
-    /// identical in outcome to the real crate's `par_sort_unstable` for
-    /// totally-ordered element types.
+    /// Sort (unstable): parallel chunk-sort + in-place merge on the
+    /// pool. Output is the unique sorted order of a totally ordered
+    /// element type, so it is identical to `slice::sort_unstable` at
+    /// every thread count.
     fn par_sort_unstable(&mut self)
     where
         T: Ord,
     {
-        self.as_parallel_slice_mut().sort_unstable();
+        crate::sort::par_sort_unstable(self.as_parallel_slice_mut());
+    }
+
+    /// Split into contiguous chunks of at most `size` elements (the
+    /// last may be shorter) and iterate over them in parallel.
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMutIter<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ChunksMutIter {
+            slice: self.as_parallel_slice_mut(),
+            size,
+        }
     }
 }
 

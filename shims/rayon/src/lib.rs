@@ -11,9 +11,8 @@
 //!   `all` / `any` / `max` / `min` / `sum`;
 //! * sources: integer ranges (`into_par_iter`), slices and `Vec`s
 //!   (`par_iter`, `par_iter_mut`, `into_par_iter`);
-//! * `ParallelSliceMut::par_sort_unstable` (sequential pdqsort under the
-//!   hood — deterministic and allocation-free, the call sites are not on
-//!   the hot path);
+//! * `ParallelSliceMut::par_sort_unstable` (parallel chunk-sort +
+//!   in-place merge on the pool) and `par_chunks_mut`;
 //! * [`join`], [`current_num_threads`], and
 //!   [`ThreadPoolBuilder`] / [`ThreadPool::install`] (implemented as a
 //!   scoped thread-count override consulted by the executor, which is
@@ -21,16 +20,22 @@
 //!
 //! Execution model: a consumer splits its (always exactly-sized) pipeline
 //! into at most [`current_num_threads`] contiguous chunks of at least
-//! `with_min_len` elements and evaluates them on scoped threads, then
-//! combines chunk results **in source order** — so `collect` preserves
-//! ordering and every consumer is deterministic, like the real rayon's
-//! indexed pipelines. Thread spawn cost (rather than a persistent pool)
-//! is amortized by the chunk-size floor.
+//! `with_min_len` elements, evaluates them on a lazily-started
+//! **persistent worker pool** (see [`pool`]; the caller runs the first
+//! chunk inline and helps drain the queue while waiting), then combines
+//! chunk results **in source order** — so `collect` preserves ordering
+//! and every consumer is deterministic, like the real rayon's indexed
+//! pipelines. `par_sort_unstable` is a genuine parallel sort: chunk
+//! `sort_unstable` plus a rotation-based parallel in-place merge.
 
 use std::cell::Cell;
 use std::fmt;
 
 pub mod iter;
+pub mod pool;
+mod sort;
+
+pub use pool::pool_workers;
 
 pub use iter::{
     FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
@@ -47,6 +52,14 @@ pub mod prelude {
 
 thread_local! {
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+pub(crate) fn thread_override_replace(v: Option<usize>) -> Option<usize> {
+    THREAD_OVERRIDE.with(|c| c.replace(v))
+}
+
+pub(crate) fn thread_override_set(v: Option<usize>) {
+    THREAD_OVERRIDE.with(|c| c.set(v));
 }
 
 fn default_threads() -> usize {
@@ -86,12 +99,7 @@ where
         let ra = a();
         (ra, b())
     } else {
-        std::thread::scope(|s| {
-            let hb = s.spawn(b);
-            let ra = a();
-            let rb = hb.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
-            (ra, rb)
-        })
+        pool::run_pair(a, b)
     }
 }
 

@@ -1,0 +1,310 @@
+//! The persistent worker pool behind every parallel consumer.
+//!
+//! Workers are OS threads spawned lazily the first time a consumer asks
+//! for more than one chunk; they park on a condvar and survive for the
+//! life of the process, so steady-state pipelines pay a queue push +
+//! wake instead of a `thread::spawn` per chunk. Jobs are lifetime-erased
+//! closures: the submitting call **always blocks until its whole batch
+//! has finished** (helping the pool drain while it waits), which is what
+//! makes handing stack borrows to worker threads sound.
+//!
+//! Determinism: the pool only changes *where* a chunk runs, never what
+//! the chunks are (the executor computes chunk boundaries before
+//! submitting) nor the order results are combined in (each job writes
+//! its own pre-assigned slot). A job also carries the submitting
+//! thread's effective thread count and installs it for the duration of
+//! the job, so nested pipelines plan their chunks exactly as they would
+//! have on the submitting thread.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Upper bound on spawned workers, guarding against pathological
+/// `RAYON_NUM_THREADS` values. Real oversubscription needs are far
+/// below this.
+const MAX_WORKERS: usize = 256;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Registry {
+    queue: Mutex<VecDeque<Job>>,
+    work: Condvar,
+    spawned: Mutex<usize>,
+}
+
+static REGISTRY: OnceLock<Arc<Registry>> = OnceLock::new();
+
+fn registry() -> &'static Arc<Registry> {
+    REGISTRY.get_or_init(|| {
+        Arc::new(Registry {
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            spawned: Mutex::new(0),
+        })
+    })
+}
+
+/// Number of worker threads currently alive (plus the caller, that is
+/// the pool's usable parallelism). Exposed for diagnostics.
+pub fn pool_workers() -> usize {
+    *registry().spawned.lock().unwrap()
+}
+
+/// Spawn workers until at least `target` are alive (capped).
+fn ensure_workers(target: usize) {
+    let reg = registry();
+    let target = target.min(MAX_WORKERS);
+    let mut n = reg.spawned.lock().unwrap();
+    while *n < target {
+        *n += 1;
+        let r = Arc::clone(reg);
+        std::thread::Builder::new()
+            .name(format!("rayon-shim-{}", *n))
+            .spawn(move || worker_loop(&r))
+            .expect("failed to spawn pool worker");
+    }
+}
+
+fn worker_loop(reg: &Registry) {
+    loop {
+        let job = {
+            let mut q = reg.queue.lock().unwrap();
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = reg.work.wait(q).unwrap();
+            }
+        };
+        // Jobs are panic-wrapped at submission; workers never die.
+        job();
+    }
+}
+
+fn enqueue(job: Job) {
+    let reg = registry();
+    reg.queue.lock().unwrap().push_back(job);
+    reg.work.notify_one();
+}
+
+fn try_pop() -> Option<Job> {
+    registry().queue.lock().unwrap().pop_front()
+}
+
+/// Completion latch for one batch of jobs submitted by one caller.
+struct BatchState {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+struct Batch {
+    state: Arc<BatchState>,
+}
+
+impl Batch {
+    fn new() -> Self {
+        Batch {
+            state: Arc::new(BatchState {
+                remaining: Mutex::new(0),
+                done: Condvar::new(),
+                panic: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Enqueue `job` on the pool.
+    ///
+    /// # Safety
+    ///
+    /// `job` may borrow data from the caller's stack even though it is
+    /// erased to `'static` here. The caller must call [`Batch::wait`]
+    /// (which blocks until every submitted job has run to completion)
+    /// before those borrows go out of scope — including on the panic
+    /// path.
+    unsafe fn submit<'env>(&self, job: Box<dyn FnOnce() + Send + 'env>, threads: usize) {
+        *self.state.remaining.lock().unwrap() += 1;
+        let state = Arc::clone(&self.state);
+        let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(move || {
+                // Run under the submitter's effective thread count so
+                // nested pipelines plan identically to an inline run.
+                let prev = crate::thread_override_replace(Some(threads));
+                struct Restore(Option<usize>);
+                impl Drop for Restore {
+                    fn drop(&mut self) {
+                        crate::thread_override_set(self.0);
+                    }
+                }
+                let _restore = Restore(prev);
+                job();
+            }));
+            let mut rem = state.remaining.lock().unwrap();
+            if let Err(payload) = result {
+                *state.panic.lock().unwrap() = Some(payload);
+            }
+            *rem -= 1;
+            if *rem == 0 {
+                state.done.notify_all();
+            }
+        });
+        // SAFETY: contract forwarded to the caller — `wait` runs before
+        // the borrowed frame unwinds or returns.
+        let erased: Job = unsafe { std::mem::transmute(wrapped) };
+        enqueue(erased);
+    }
+
+    /// Block until every job of this batch has completed, executing
+    /// queued jobs (from any batch) while waiting so that nested
+    /// batches can never deadlock the pool.
+    fn wait_all(&self) {
+        loop {
+            if *self.state.remaining.lock().unwrap() == 0 {
+                break;
+            }
+            match try_pop() {
+                Some(job) => job(),
+                None => {
+                    // The queue is globally empty, so every job of this
+                    // batch has been claimed by some runner which will
+                    // decrement the latch and notify.
+                    let mut rem = self.state.remaining.lock().unwrap();
+                    while *rem > 0 {
+                        rem = self.state.done.wait(rem).unwrap();
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.state.panic.lock().unwrap().take()
+    }
+}
+
+/// Evaluate `parts` (one closure result per part, in order) with the
+/// first part on the calling thread and the rest on the pool. Blocks
+/// until all parts are done; any panic is propagated after the whole
+/// batch has drained (so stack borrows stay sound).
+pub(crate) fn run_ordered<P, R, E>(parts: Vec<P>, eval: &E) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    E: Fn(P) -> R + Sync,
+{
+    let threads = crate::current_num_threads();
+    ensure_workers(threads.saturating_sub(1));
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(parts.len());
+    slots.resize_with(parts.len(), || None);
+    let batch = Batch::new();
+    let mut parts = parts.into_iter();
+    let first = parts.next().expect("run_ordered: empty batch");
+    let first_result = {
+        let mut slot_iter = slots.iter_mut();
+        let _slot0 = slot_iter.next();
+        for (slot, part) in slot_iter.zip(parts) {
+            // SAFETY: `wait_all` below runs before this frame ends on
+            // every path (including the inline-eval panic path, which
+            // is caught first), so the borrows of `slots` and `eval`
+            // outlive the jobs.
+            unsafe {
+                batch.submit(Box::new(move || *slot = Some(eval(part))), threads);
+            }
+        }
+        let first_result = catch_unwind(AssertUnwindSafe(|| eval(first)));
+        batch.wait_all();
+        first_result
+    };
+    match first_result {
+        Ok(r) => slots[0] = Some(r),
+        Err(payload) => {
+            let _ = batch.take_panic();
+            resume_unwind(payload);
+        }
+    }
+    if let Some(payload) = batch.take_panic() {
+        resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("pool job did not run"))
+        .collect()
+}
+
+/// `join` on the pool: `b` goes to the queue, `a` runs inline, and the
+/// caller helps drain the pool until `b` is done.
+pub(crate) fn run_pair<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let threads = crate::current_num_threads();
+    ensure_workers(threads.saturating_sub(1));
+    let batch = Batch::new();
+    let mut rb: Option<RB> = None;
+    let ra = {
+        let slot = &mut rb;
+        // SAFETY: `wait_all` below runs before this frame ends on every
+        // path, so the borrow of `rb` outlives the job.
+        unsafe {
+            batch.submit(Box::new(move || *slot = Some(b())), threads);
+        }
+        let ra = catch_unwind(AssertUnwindSafe(a));
+        batch.wait_all();
+        match ra {
+            Ok(v) => v,
+            Err(payload) => {
+                let _ = batch.take_panic();
+                resume_unwind(payload);
+            }
+        }
+    };
+    if let Some(payload) = batch.take_panic() {
+        resume_unwind(payload);
+    }
+    (ra, rb.expect("join job did not run"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_results_in_order() {
+        let parts: Vec<usize> = (0..17).collect();
+        let out = run_ordered(parts, &|x: usize| x * 10);
+        assert_eq!(out, (0..17).map(|x| x * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_panic_propagates_and_pool_survives() {
+        let res = std::panic::catch_unwind(|| {
+            let parts: Vec<usize> = (0..8).collect();
+            run_ordered(parts, &|x: usize| {
+                if x == 5 {
+                    panic!("boom");
+                }
+                x
+            });
+        });
+        assert!(res.is_err());
+        // Pool still works after a panicked batch.
+        let out = run_ordered((0..8).collect::<Vec<usize>>(), &|x: usize| x + 1);
+        assert_eq!(out.iter().sum::<usize>(), 36);
+    }
+
+    #[test]
+    fn nested_batches_do_not_deadlock() {
+        let out = run_ordered((0..4).collect::<Vec<usize>>(), &|x: usize| {
+            let inner = run_ordered((0..4).collect::<Vec<usize>>(), &|y: usize| x * 10 + y);
+            inner.into_iter().sum::<usize>()
+        });
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[3], 30 + 31 + 32 + 33);
+    }
+}

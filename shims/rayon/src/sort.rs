@@ -1,0 +1,102 @@
+//! Parallel unstable sort: recursive halving with `sort_unstable` at
+//! the leaves, joined back together by a rotation-based in-place merge
+//! (the symmerge scheme) whose two sub-merges run on the pool.
+//!
+//! The merge is fully safe code: it never copies elements to a side
+//! buffer, only `rotate_left`s a window to interleave the two runs and
+//! recurses on the (element-disjoint) halves. For a totally ordered
+//! element type the result is the unique sorted sequence, so the output
+//! is identical to `slice::sort_unstable` for every thread count.
+
+/// Below this many elements a range is sorted/merged sequentially.
+const SEQ_CUTOFF: usize = 4096;
+
+pub(crate) fn par_sort_unstable<T: Ord + Send>(v: &mut [T]) {
+    let threads = crate::current_num_threads();
+    sort_rec(v, threads);
+}
+
+fn sort_rec<T: Ord + Send>(v: &mut [T], threads: usize) {
+    if threads <= 1 || v.len() <= SEQ_CUTOFF {
+        v.sort_unstable();
+        return;
+    }
+    let mid = v.len() / 2;
+    let lt = threads / 2;
+    {
+        let (l, r) = v.split_at_mut(mid);
+        crate::join(|| sort_rec(l, threads - lt), || sort_rec(r, lt.max(1)));
+    }
+    merge_rec(v, mid, threads);
+}
+
+/// Merge the sorted runs `v[..mid]` and `v[mid..]` in place.
+fn merge_rec<T: Ord + Send>(v: &mut [T], mid: usize, threads: usize) {
+    let len = v.len();
+    if mid == 0 || mid == len || v[mid - 1] <= v[mid] {
+        return;
+    }
+    if len == 2 {
+        v.swap(0, 1);
+        return;
+    }
+    // Split the longer run at its midpoint and find the matching cut in
+    // the other run by binary search, so that everything left of the
+    // cuts sorts before everything right of them.
+    let (i, j) = if mid >= len - mid {
+        let i = mid / 2;
+        (i, v[mid..].partition_point(|x| x < &v[i]))
+    } else {
+        let j = (len - mid).div_ceil(2);
+        (v[..mid].partition_point(|x| x <= &v[mid + j - 1]), j)
+    };
+    // v[i..mid] (tail of left run) and v[mid..mid+j] (head of right run)
+    // swap places, giving two independent merge subproblems.
+    v[i..mid + j].rotate_left(mid - i);
+    let new_mid = i + j;
+    let (l, r) = v.split_at_mut(new_mid);
+    let rsplit = mid - i;
+    if threads > 1 && len > SEQ_CUTOFF {
+        let lt = threads / 2;
+        crate::join(
+            || merge_rec(l, i, threads - lt),
+            || merge_rec(r, rsplit, lt.max(1)),
+        );
+    } else {
+        merge_rec(l, i, 1);
+        merge_rec(r, rsplit, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrambled(n: u64) -> Vec<u64> {
+        (0..n)
+            .map(|i| (i * 2_654_435_761).rotate_left(17) % 977)
+            .collect()
+    }
+
+    #[test]
+    fn merge_interleaves() {
+        let mut v: Vec<u64> = (0..500)
+            .map(|i| i * 2)
+            .chain((0..500).map(|i| i * 2 + 1))
+            .collect();
+        merge_rec(&mut v, 500, 4);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(v, (0..1000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn matches_std_sort_all_sizes() {
+        for n in [0, 1, 2, 3, 100, 4096, 4097, 50_000] {
+            let mut a = scrambled(n);
+            let mut b = a.clone();
+            par_sort_unstable(&mut a);
+            b.sort_unstable();
+            assert_eq!(a, b, "n = {n}");
+        }
+    }
+}

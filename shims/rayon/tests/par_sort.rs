@@ -1,0 +1,68 @@
+//! Property tests for the shim's parallel sort and chunked pipelines:
+//! `par_sort_unstable` must agree with `slice::sort_unstable` exactly,
+//! at every thread count the CI matrix exercises.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+fn splitmix(mut x: u64) -> impl FnMut() -> u64 {
+    move || {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Parallel sort equals std's sequential unstable sort, element for
+    /// element, under thread counts 1, 2, 3, and 8 — including lengths
+    /// straddling the sequential cutoff and heavy duplicate loads.
+    #[test]
+    fn par_sort_matches_std(len in 0usize..20_000, seed in any::<u64>(), modulus in 1u64..5000) {
+        let mut rng = splitmix(seed);
+        let data: Vec<u64> = (0..len).map(|_| rng() % modulus).collect();
+        let mut want = data.clone();
+        want.sort_unstable();
+        for threads in [1usize, 2, 3, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let mut got = data.clone();
+            pool.install(|| got.par_sort_unstable());
+            prop_assert_eq!(&got, &want, "threads = {}", threads);
+        }
+    }
+
+    /// Pairs sort correctly too (the `pred_array` call-site shape).
+    #[test]
+    fn par_sort_pairs(len in 0usize..8_000, seed in any::<u64>()) {
+        let mut rng = splitmix(seed);
+        let data: Vec<(u32, u32)> = (0..len).map(|_| (rng() as u32 % 997, rng() as u32)).collect();
+        let mut want = data.clone();
+        want.sort_unstable();
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let mut got = data;
+        pool.install(|| got.par_sort_unstable());
+        prop_assert_eq!(got, want);
+    }
+
+    /// `par_chunks_mut` visits every element exactly once, in disjoint
+    /// contiguous chunks of the requested size.
+    #[test]
+    fn par_chunks_mut_covers(len in 0usize..10_000, size in 1usize..700, threads in 1usize..9) {
+        let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let mut v = vec![0u64; len];
+        pool.install(|| {
+            v.par_chunks_mut(size).enumerate().for_each(|(ci, chunk)| {
+                assert!(chunk.len() <= size);
+                for (k, x) in chunk.iter_mut().enumerate() {
+                    *x += (ci * size + k) as u64 + 1;
+                }
+            });
+        });
+        prop_assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+}

@@ -98,7 +98,162 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("engine", engine_bench),
     ("faults", e15_faults),
     ("native", e16_native_scaling),
+    ("bounds", e17_bounds),
 ];
+
+/// E17: the bound audit — every instrumented matcher over a size grid,
+/// each recorded counter checked against the paper's closed-form bound
+/// and the exact `cost::*_native_work` predictor, plus a PRAM trace
+/// bridged into the same span vocabulary. Output carries no timings,
+/// so it is byte-deterministic across runs; with `--json`, writes
+/// `BENCH_bounds.json`; `--quick` shrinks the grid for CI.
+fn e17_bounds() {
+    use parmatch_core::obs::record_pram_trace;
+    use parmatch_core::pram_impl::{match2_pram as m2p, match4_pram as m4p};
+    use parmatch_core::{
+        match1_obs, match2_obs, match3_obs, match4_obs, Recorder, Recording, Workspace,
+    };
+    use parmatch_pram::fault::{arm_with_trace, take_probes, FaultPlan};
+
+    let quick = QUICK.load(std::sync::atomic::Ordering::Relaxed);
+    println!("## E17 — bound audit: measured counters vs the paper's predictions");
+    let ns: &[u64] = if quick {
+        &[1 << 8, 1 << 12]
+    } else {
+        &[1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18]
+    };
+
+    fn audits_json(rec: &Recording) -> String {
+        let items: Vec<String> = rec
+            .audits()
+            .iter()
+            .map(|a| {
+                format!(
+                    "{{\"path\": \"{}\", \"value\": {}, \"bound\": {}, \"pass\": {}}}",
+                    a.path, a.value, a.bound, a.pass
+                )
+            })
+            .collect();
+        format!("[{}]", items.join(", "))
+    }
+
+    let mut ws = Workspace::new();
+    let mut rows = Vec::new();
+    let mut cells = Vec::new();
+    for &n in ns {
+        let list = random_list(n as usize, SEED);
+        let mut cell = |algo: &str, rec: Recording, predicted: u64| {
+            let wu = rec.find("work_units").expect("work recorded");
+            assert_eq!(
+                wu, predicted,
+                "{algo} n={n}: measured work diverged from the cost model"
+            );
+            assert!(
+                rec.all_bounds_hold(),
+                "{algo} n={n}: BOUND VIOLATED\n{}",
+                rec.render()
+            );
+            let audits = rec.audits();
+            rows.push(vec![
+                format!("2^{}", n.trailing_zeros()),
+                algo.to_string(),
+                wu.to_string(),
+                predicted.to_string(),
+                format!("{}x", cost::native_work_constant(wu, n)),
+                format!("{}/{}", audits.len(), audits.len()),
+            ]);
+            cells.push(format!(
+                "    {{\"algo\": \"{algo}\", \"n\": {n}, \"work_units\": {wu}, \
+                 \"predicted_work\": {predicted}, \"all_pass\": true, \
+                 \"audits\": {}, \"tree\": {}}}",
+                audits_json(&rec),
+                rec.to_json()
+            ));
+        };
+
+        let mut r = Recorder::new();
+        match1_obs(&list, CoinVariant::Msb, &mut ws, &mut r);
+        cell("match1", r.finish(), cost::match1_native_work(n));
+
+        let mut r = Recorder::new();
+        match2_obs(&list, 2, CoinVariant::Msb, &mut ws, &mut r);
+        cell("match2", r.finish(), cost::match2_native_work(n, 2));
+
+        let mut r = Recorder::new();
+        let out = match3_obs(&list, Match3Config::default(), &mut ws, &mut r).unwrap();
+        cell(
+            "match3",
+            r.finish(),
+            cost::match3_native_work(n, out.crunch_rounds, out.jump_rounds),
+        );
+
+        let mut r = Recorder::new();
+        match4_obs(&list, 2, CoinVariant::Msb, &mut ws, &mut r);
+        cell("match4", r.finish(), cost::match4_native_work(n, 2));
+    }
+    print_table(
+        &["n", "algo", "work_units", "predicted", "c·n", "bounds"],
+        &rows,
+    );
+    println!("(measured work equals the cost-model prediction exactly; every audited bound held)");
+
+    // Bridge: the same span vocabulary over a traced PRAM run, so the
+    // simulator's step/work counters sit next to the native audits.
+    let n_pram: u64 = 1 << 10;
+    let list = random_list(n_pram as usize, SEED);
+    let p = (n_pram / u64::from(ilog2_ceil(n_pram))) as usize;
+    let mut pram_rows = Vec::new();
+    for (algo, run) in [
+        ("match2_pram", {
+            let list = list.clone();
+            Box::new(move || {
+                m2p(&list, p, 2, CoinVariant::Msb, ExecMode::Fast)
+                    .unwrap()
+                    .stats
+            }) as Box<dyn Fn() -> parmatch_pram::Stats>
+        }),
+        ("match4_pram", {
+            let list = list.clone();
+            Box::new(move || {
+                m4p(&list, 2, None, CoinVariant::Msb, ExecMode::Fast)
+                    .unwrap()
+                    .stats
+            })
+        }),
+    ] {
+        arm_with_trace(FaultPlan::empty());
+        let stats = run();
+        let probe = take_probes().pop().expect("armed machine publishes");
+        let trace = probe.trace.expect("tracing was requested");
+        let mut r = Recorder::new();
+        record_pram_trace(&mut r, &trace, Some(&stats));
+        let rec = r.finish();
+        pram_rows.push(vec![
+            algo.to_string(),
+            rec.find("steps").unwrap_or(0).to_string(),
+            rec.find("work").unwrap_or(0).to_string(),
+            rec.spans()[0].children.len().to_string(),
+        ]);
+        cells.push(format!(
+            "    {{\"algo\": \"{algo}\", \"n\": {n_pram}, \"p\": {p}, \
+             \"all_pass\": true, \"audits\": [], \"tree\": {}}}",
+            rec.to_json()
+        ));
+    }
+    print_table(&["pram run", "steps", "work", "phases"], &pram_rows);
+    println!("(PRAM traces bridged through obs::record_pram_trace at n = 2^10, p = n/log n)");
+
+    let json_active = JSON_OUT.with(|j| j.borrow().is_some());
+    if json_active {
+        let body = format!(
+            "{{\n  \"experiment\": \"bounds\",\n  \"quick\": {quick},\n  \"seed\": {SEED},\n  \
+             \"cells\": [\n{}\n  ]\n}}\n",
+            cells.join(",\n")
+        );
+        std::fs::write("BENCH_bounds.json", body).expect("write BENCH_bounds.json");
+        println!("wrote BENCH_bounds.json");
+    }
+}
 
 /// E16: the native scaling suite — all four workspace-backed matchers
 /// over an n × threads grid, asserting bit-identical outputs at every

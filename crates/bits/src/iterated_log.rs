@@ -72,6 +72,52 @@ pub fn iterated_log_ceil(n: Word, i: u32) -> u64 {
     }
 }
 
+/// One step of the label-bound cascade of Lemma 2: a coin-tossing round
+/// of width `w = max(⌈log₂ b⌉, 1)` maps labels `< b` into
+/// `{0, …, 2w − 1} ∪ {2w}` (values `2k + bit` plus the equal-pair
+/// sentinel of `f_ext`), so the new exclusive bound is `2w + 1`.
+///
+/// # Panics
+///
+/// Panics if `bound == 0`.
+#[inline]
+pub fn cascade_step(bound: Word) -> Word {
+    2 * Word::from(ilog2_ceil(bound).max(1)) + 1
+}
+
+/// Label bound after `rounds` coin-tossing rounds starting from `bound`
+/// — the exact integer form of Lemma 2's `2·log^(k) n·(1 + o(1))`
+/// cascade. Every value after the first step is `≤ 2·64 + 1`.
+///
+/// # Panics
+///
+/// Panics if `bound == 0`.
+pub fn cascade_bound(mut bound: Word, rounds: u32) -> Word {
+    for _ in 0..rounds {
+        bound = cascade_step(bound);
+    }
+    bound
+}
+
+/// Number of cascade steps until the bound stops shrinking — the
+/// `G(n) + O(1)` round count of Match1 step 2, a pure function of the
+/// starting bound (data plays no part).
+///
+/// # Panics
+///
+/// Panics if `bound == 0`.
+pub fn cascade_rounds(mut bound: Word) -> u32 {
+    let mut rounds = 0;
+    loop {
+        let next = cascade_step(bound);
+        if next >= bound {
+            return rounds;
+        }
+        bound = next;
+        rounds += 1;
+    }
+}
+
 /// `G(n) = min{ k : log^(k) n < 1 }` — the iterated-log depth.
 ///
 /// `G(1) = 1` (one application of log already lands below 1),
@@ -217,6 +263,36 @@ mod tests {
         assert_eq!(iterated_log_ceil(1, 1), 1);
         assert_eq!(iterated_log_ceil(0, 3), 1);
         assert_eq!(iterated_log_ceil(1_000_000, 1), 20);
+    }
+
+    #[test]
+    fn cascade_matches_manual_iteration() {
+        assert_eq!(cascade_step(1 << 14), 2 * 14 + 1); // Lemma 1
+        assert_eq!(cascade_bound(1 << 16, 0), 1 << 16);
+        assert_eq!(cascade_bound(1 << 16, 1), 33);
+        assert_eq!(cascade_bound(1 << 16, 2), 13); // w = ⌈log₂ 33⌉ = 6
+        for n in [2u64, 3, 10, 1 << 10, 1 << 20, 1 << 40, u64::MAX] {
+            let mut b = n;
+            for k in 0..8u32 {
+                assert_eq!(cascade_bound(n, k), b, "n={n} k={k}");
+                b = cascade_step(b);
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_fixed_point_is_nine() {
+        // b → 2⌈log₂ b⌉ + 1 has fixed point 9 (w = 4); every start ≥ 2
+        // lands at a bound ≤ 9 after cascade_rounds steps.
+        for n in [2u64, 9, 10, 1 << 10, 1 << 32, u64::MAX] {
+            let r = cascade_rounds(n);
+            let b = cascade_bound(n, r);
+            assert!(b <= 9, "n={n} settled at {b}");
+            assert!(cascade_step(b) >= b, "n={n}: not a fixed point");
+            assert!(r <= u64::from(g_of(n)) as u32 + 2, "n={n} rounds {r}");
+        }
+        assert_eq!(cascade_rounds(1), 0);
+        assert_eq!(cascade_rounds(9), 0);
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub mod tables;
 
 pub use coin::{bit_of, lsb_diff, msb_diff};
 pub use iterated_log::{
-    g_of, ilog2_ceil, ilog2_floor, iterated_log, iterated_log_ceil, log_g, log_star,
+    cascade_bound, cascade_rounds, cascade_step, g_of, ilog2_ceil, ilog2_floor, iterated_log,
+    iterated_log_ceil, log_g, log_star,
 };
 pub use reversal::BitReversalTable;
 pub use tables::UnaryToBinaryTable;

@@ -5,7 +5,8 @@ use parmatch_core::pram_impl::{
     match1_pram, match2_pram, match3_pram, match4_pram, rank_pram, wyllie_pram,
 };
 use parmatch_core::{
-    match1, match2, match3, match4_with, verify, CoinVariant, Match3Config, Matching,
+    match1, match1_obs, match2, match2_obs, match3, match3_obs, match4_obs, match4_with, verify,
+    CoinVariant, Match3Config, Matching, Recorder, Recording, Workspace,
 };
 use parmatch_list::{
     bit_reversal_list, blocked_list, from_text, random_list, reversed_list, sequential_list,
@@ -37,6 +38,15 @@ COMMANDS
   steps   --algo match1|match2|match3|match4|wyllie|rank
           --n N [--p P] [--i I] [--rounds K] [--checked]
           Simulated PRAM step counts.
+  trace   --algo match1|match2|match3|match4
+          (--input FILE | --n N [--seed S])
+          [--i I] [--rounds K] [--variant msb|lsb] [--threads T]
+          [--json]
+          Run an instrumented matcher and print the recorded span
+          tree: per-phase counters with the paper's bound margins,
+          plus an audit summary. Output contains no timings, so it
+          is byte-stable across runs and thread counts. Exits with
+          an error if any bound is violated.
   verify  (--input FILE | --faults [--n N] [--seed S] [--trials T])
           Structural validation of a list file, or the fault-injection
           self-check: seeded faults through every matcher, asserting
@@ -96,6 +106,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "color" => cmd_color(&args),
         "mis" => cmd_mis(&args),
         "steps" => cmd_steps(&args),
+        "trace" => cmd_trace(&args),
         "verify" => cmd_verify(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!("unknown command {other:?}"))),
@@ -377,6 +388,76 @@ fn cmd_steps(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// `trace`: run a matcher through its `*_obs` entry point with a
+/// [`Recorder`] and pretty-print the recorded span tree with bound
+/// margins. Any violated bound turns the whole invocation into an
+/// error (the tree is still printed, inside the error message).
+fn cmd_trace(args: &Args) -> Result<String, CliError> {
+    let list = list_of(args)?;
+    let variant = variant_of(args)?;
+    let threads: usize = args.get_or("threads", 0)?;
+    let algo = args.get("algo").unwrap_or("match4");
+    let run = || -> Result<(Recording, String), CliError> {
+        let mut ws = Workspace::new();
+        let mut rec = Recorder::new();
+        let extra = match algo {
+            "match1" => {
+                let out = match1_obs(&list, variant, &mut ws, &mut rec);
+                format!("{} f-rounds (bound {})", out.rounds, out.final_bound)
+            }
+            "match2" => {
+                let out = match2_obs(&list, args.get_or("rounds", 2)?, variant, &mut ws, &mut rec);
+                format!("{} matching sets", out.partition.distinct_sets())
+            }
+            "match3" => {
+                let cfg = Match3Config {
+                    crunch_rounds: args.get_or("rounds", 3)?,
+                    variant,
+                    ..Match3Config::default()
+                };
+                let out = match3_obs(&list, cfg, &mut ws, &mut rec)
+                    .map_err(|e| CliError::new(e.to_string()))?;
+                format!(
+                    "2^{}-entry table, {} jumps",
+                    out.table_bits, out.jump_rounds
+                )
+            }
+            "match4" => {
+                let out = match4_obs(&list, args.get_or("i", 2)?, variant, &mut ws, &mut rec);
+                format!(
+                    "{}×{} grid, {} walk rounds",
+                    out.rows, out.cols, out.walk_rounds
+                )
+            }
+            other => return Err(CliError::new(format!("unknown algo {other:?}"))),
+        };
+        Ok((rec.finish(), extra))
+    };
+    let (rec, extra) = if threads > 0 {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .map_err(|e| CliError::new(format!("thread pool: {e:?}")))?;
+        pool.install(run)?
+    } else {
+        run()?
+    };
+    let audits = rec.audits();
+    let held = audits.iter().filter(|a| a.pass).count();
+    let mut out = format!("trace {algo}: {} nodes, {extra}\n", list.len());
+    if args.flag("json") {
+        out.push_str(&rec.to_json());
+        out.push('\n');
+    } else {
+        out.push_str(&rec.render());
+    }
+    out.push_str(&format!("audit: {held}/{} bounds hold\n", audits.len()));
+    if held != audits.len() {
+        return Err(CliError::new(out));
+    }
+    Ok(out)
+}
+
 fn cmd_verify(args: &Args) -> Result<String, CliError> {
     if args.flag("faults") {
         return cmd_verify_faults(args);
@@ -513,6 +594,23 @@ mod tests {
             let out = cli(&format!("steps --algo {algo} --n 256 --p 16")).unwrap();
             assert!(out.contains("steps="), "{algo}: {out}");
         }
+    }
+
+    #[test]
+    fn trace_renders_span_tree_and_audits() {
+        for algo in ["match1", "match2", "match3", "match4"] {
+            let out = cli(&format!("trace --algo {algo} --n 400 --seed 2")).unwrap();
+            assert!(out.contains("bounds hold"), "{algo}: {out}");
+            assert!(out.contains("[ok, margin"), "{algo}: {out}");
+            assert!(!out.contains("VIOLATED"), "{algo}: {out}");
+        }
+        // Thread-count independent, byte for byte.
+        let a = cli("trace --algo match4 --n 600 --seed 3 --threads 2").unwrap();
+        let b = cli("trace --algo match4 --n 600 --seed 3").unwrap();
+        assert_eq!(a, b);
+        let j = cli("trace --algo match2 --n 100 --json").unwrap();
+        assert!(j.contains("\"label\":\"match2\""), "{j}");
+        assert!(cli("trace --algo nope --n 10").is_err());
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Golden-trace snapshots: the `trace` subcommand's output for two
+//! fixed seeded lists is pinned byte-for-byte against checked-in files,
+//! and must not change with the worker thread count — the span tree
+//! carries only counters (no timings), and every parallel reduction in
+//! the matchers combines in deterministic order.
+//!
+//! To regenerate after an intentional format or counter change:
+//!
+//! ```text
+//! cargo run -q -p parmatch-cli --bin parmatch -- \
+//!     trace --algo match4 --n 512 --seed 7 \
+//!     > crates/cli/tests/snapshots/trace_match4_n512_s7.txt
+//! cargo run -q -p parmatch-cli --bin parmatch -- \
+//!     trace --algo match1 --n 300 --seed 3 \
+//!     > crates/cli/tests/snapshots/trace_match1_n300_s3.txt
+//! ```
+
+use std::process::Command;
+
+/// Run the built binary with `RAYON_NUM_THREADS` pinned; return stdout.
+fn trace_stdout(args: &[&str], threads: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_parmatch"))
+        .args(args)
+        .env("RAYON_NUM_THREADS", threads)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+fn snapshot(name: &str) -> String {
+    let path = format!("{}/tests/snapshots/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn assert_matches_snapshot(args: &[&str], name: &str) {
+    let expected = snapshot(name);
+    for threads in ["1", "2", "8"] {
+        let got = trace_stdout(args, threads);
+        assert_eq!(
+            got, expected,
+            "{name} drifted at RAYON_NUM_THREADS={threads}; if the change \
+             is intentional, regenerate per the module docs"
+        );
+    }
+}
+
+#[test]
+fn match4_trace_is_byte_stable() {
+    assert_matches_snapshot(
+        &["trace", "--algo", "match4", "--n", "512", "--seed", "7"],
+        "trace_match4_n512_s7.txt",
+    );
+}
+
+#[test]
+fn match1_trace_is_byte_stable() {
+    assert_matches_snapshot(
+        &["trace", "--algo", "match1", "--n", "300", "--seed", "3"],
+        "trace_match1_n300_s3.txt",
+    );
+}
+
+#[test]
+fn snapshots_audit_clean() {
+    // Guard against pinning a regression: the checked-in snapshots must
+    // themselves report every bound held.
+    for name in ["trace_match4_n512_s7.txt", "trace_match1_n300_s3.txt"] {
+        let s = snapshot(name);
+        assert!(!s.contains("VIOLATED"), "{name}");
+        let audit = s.lines().last().expect("audit line");
+        let (held, total) = audit
+            .strip_prefix("audit: ")
+            .and_then(|r| r.split_once('/'))
+            .unwrap_or_else(|| panic!("{name}: malformed audit line {audit:?}"));
+        let total = total.split_whitespace().next().unwrap();
+        assert_eq!(held, total, "{name}: {audit}");
+    }
+}

@@ -1,11 +1,24 @@
-//! The paper's analytic step-count predictions.
+//! The paper's analytic step-count predictions, plus exact native work
+//! predictors reconciled with the [`crate::obs`] measurements.
 //!
-//! The experiment harness compares *measured* simulator step counts
-//! against these leading-order forms; reproduction means the measured
-//! curves track the predicted ones in shape (constant factors are
-//! implementation artifacts the paper does not fix).
+//! Two families live here:
+//!
+//! * **simulator-step forms** ([`match1_predicted`] …): the leading-order
+//!   `O(·)` step counts of Lemmas 3–5 / Theorem 2 as functions of
+//!   `(n, p)`. The experiment harness compares *measured* simulator step
+//!   counts against these in shape only — constant factors are
+//!   implementation artifacts the paper does not fix.
+//! * **native work forms** ([`match1_native_work`] …): exact
+//!   sequential-work predictions for the rayon-native `*_in` pipelines,
+//!   in the same units the observability layer's `work_units` counter
+//!   measures (one unit = one node visited by one pass). These are
+//!   derived independently from the bound cascade
+//!   ([`parmatch_bits::cascade_bound`] / [`parmatch_bits::cascade_rounds`])
+//!   and pinned **equal** to the measured counters by the
+//!   `native_predictors_match_observed_work` test — the reconciliation
+//!   between `cost` and `obs` that keeps neither side drifting.
 
-use parmatch_bits::{g_of, ilog2_ceil, iterated_log_ceil, log_g};
+use parmatch_bits::{cascade_bound, cascade_rounds, g_of, ilog2_ceil, iterated_log_ceil, log_g};
 
 /// `⌈n/p⌉` — the per-round cost of a parallel loop over `n` items with
 /// `p` processors.
@@ -56,6 +69,63 @@ pub fn work_efficiency(n: u64, p: u64, steps: u64) -> f64 {
     (p as f64 * steps as f64) / n.max(1) as f64
 }
 
+/// Exact work units of the native `match1_in` pipeline on an `n`-node
+/// list: `n` per relabel round (the round count is the data-independent
+/// [`cascade_rounds`]) plus the finisher's four passes. Zero for lists
+/// without pointers.
+pub fn match1_native_work(n: u64) -> u64 {
+    if n < 2 {
+        return 0;
+    }
+    n * u64::from(cascade_rounds(n)) + 4 * n
+}
+
+/// Exact work units of the native `match2_in` pipeline with `rounds`
+/// partition rounds on a single-tail list: `n` per round, set
+/// projection `n`, counting sort `2·(n−1)` over the `n − 1` real
+/// pointers (histogram + placement), sweep `n − 1`, final mask `n` —
+/// which regroups to `n·(rounds + 3) + 2·(n − 1)`.
+pub fn match2_native_work(n: u64, rounds: u32) -> u64 {
+    if n < 2 {
+        return 0;
+    }
+    n * (u64::from(rounds) + 3) + 2 * (n - 1)
+}
+
+/// Exact work units of the native `match3_in` pipeline: `n` per crunch
+/// round, two passes per pointer-jump round (concatenate + jump), one
+/// probe pass, the finisher's four passes.
+pub fn match3_native_work(n: u64, crunch_rounds: u32, jump_rounds: u32) -> u64 {
+    if n < 2 {
+        return 0;
+    }
+    n * (u64::from(crunch_rounds) + 2 * u64::from(jump_rounds) + 5)
+}
+
+/// Exact work units of the native `match4_in` pipeline with `i`
+/// partition rounds on a single-tail list. With `x = ` [`cascade_bound`]
+/// `(n, i)` rows and `y = ⌈n/x⌉` columns: `i·n` relabel, `10n` of
+/// linear passes (set projection, census, the grid's five passes, the
+/// color-class projection, greedy histogram and final mask),
+/// `n·⌈log₂ x⌉` per-column sorting, `(3x − 1)·y` walkdown lockstep
+/// work, and `2·(n − 1)` greedy placement + sweep.
+pub fn match4_native_work(n: u64, i: u32) -> u64 {
+    if n < 2 {
+        return 0;
+    }
+    let x = cascade_bound(n, i);
+    let lx = u64::from(ilog2_ceil(x).max(1));
+    let y = n.div_ceil(x);
+    n * (u64::from(i) + 10 + lx) + (3 * x - 1) * y + 2 * (n - 1)
+}
+
+/// The `c` of the native pipelines' `c·n` work, rounded up: the paper's
+/// Theorem 1 constant for this implementation at the given `n`
+/// (diagnostic; the bound audits use the exact forms above).
+pub fn native_work_constant(work_units: u64, n: u64) -> u64 {
+    work_units.div_ceil(n.max(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +174,62 @@ mod tests {
         let p = match2_optimal_procs(n);
         let t = match2_predicted(n, p);
         assert!(work_efficiency(n, p, t) < 4.0);
+    }
+
+    #[test]
+    fn native_predictors_match_observed_work() {
+        // The reconciliation test of the cost/obs disconnect: the
+        // predictors above derive work from the bound cascade alone; the
+        // matchers assemble their `work_units` counter from what they
+        // actually executed. The two must agree exactly.
+        use crate::obs::Recorder;
+        use crate::{
+            match1_obs, match2_obs, match3_obs, match4_obs, CoinVariant, Match3Config, Workspace,
+        };
+        use parmatch_list::random_list;
+
+        let mut ws = Workspace::new();
+        for n in [2u64, 97, 1024, 5000] {
+            let list = random_list(n as usize, 11);
+
+            let mut rec = Recorder::new();
+            match1_obs(&list, CoinVariant::Msb, &mut ws, &mut rec);
+            let rec = rec.finish();
+            assert_eq!(
+                rec.find("work_units").unwrap_or(0),
+                match1_native_work(n),
+                "match1 n={n}"
+            );
+
+            let mut rec = Recorder::new();
+            match2_obs(&list, 2, CoinVariant::Msb, &mut ws, &mut rec);
+            let rec = rec.finish();
+            assert_eq!(
+                rec.find("work_units").unwrap_or(0),
+                match2_native_work(n, 2),
+                "match2 n={n}"
+            );
+
+            let mut rec = Recorder::new();
+            let out = match3_obs(&list, Match3Config::default(), &mut ws, &mut rec).unwrap();
+            let rec = rec.finish();
+            assert_eq!(
+                rec.find("work_units").unwrap_or(0),
+                match3_native_work(n, out.crunch_rounds, out.jump_rounds),
+                "match3 n={n}"
+            );
+
+            let mut rec = Recorder::new();
+            match4_obs(&list, 2, CoinVariant::Msb, &mut ws, &mut rec);
+            let rec = rec.finish();
+            assert_eq!(
+                rec.find("work_units").unwrap_or(0),
+                match4_native_work(n, 2),
+                "match4 n={n}"
+            );
+            assert!(native_work_constant(match4_native_work(n, 2), n) <= 26);
+        }
+        assert_eq!(match1_native_work(1), 0);
+        assert_eq!(match4_native_work(0, 2), 0);
     }
 }

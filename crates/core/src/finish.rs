@@ -304,6 +304,115 @@ pub(crate) fn greedy_core(
     Matching::from_mask(list, final_mask)
 }
 
+/// [`from_labels_core`] with an [`Observer`](crate::obs::Observer).
+///
+/// The matching is computed by the plain core unconditionally; an
+/// enabled observer then replays the sublist structure left in the
+/// workspace buffers (cut mask, walk marks, matched-node marks) and
+/// records a `finish` span: cut pointers, sublist count, nodes walked
+/// (every node lies in exactly one sublist, so this totals `n`), walk
+/// marks vs. fix-up additions, and the longest sublist audited against
+/// the paper's `2·bound − 1` (a sublist has no interior local minimum,
+/// so its labels ascend then descend — at most `bound` nodes each way,
+/// sharing the peak).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn from_labels_core_obs<O: crate::obs::Observer>(
+    list: &LinkedList,
+    labels: &[Word],
+    pred: &[NodeId],
+    cut: &mut Vec<bool>,
+    mask: &mut Vec<AtomicBool>,
+    matched: &mut Vec<AtomicBool>,
+    bound: Word,
+    obs: &mut O,
+) -> Matching {
+    let m = from_labels_core(list, labels, pred, cut, mask, matched);
+    let n = list.len();
+    if !O::ENABLED || n < 2 {
+        return m;
+    }
+    let cut_pointers = cut.iter().filter(|&&c| c).count() as u64;
+    let walk_marks = mask.iter().filter(|a| a.load(Ordering::Relaxed)).count() as u64;
+    let mut sublists = 0u64;
+    let mut walk_nodes = 0u64;
+    let mut max_sublist = 0u64;
+    for h in 0..n as NodeId {
+        let starts = match pred[h as usize] {
+            NIL => true,
+            u => cut[u as usize],
+        };
+        if !starts {
+            continue;
+        }
+        sublists += 1;
+        let mut v = h;
+        let mut len = 1u64;
+        loop {
+            if cut[v as usize] {
+                break;
+            }
+            match list.next_raw(v) {
+                NIL => break,
+                w => {
+                    len += 1;
+                    v = w;
+                }
+            }
+        }
+        walk_nodes += len;
+        max_sublist = max_sublist.max(len);
+    }
+    obs.enter("finish");
+    obs.counter("cut_pointers", cut_pointers);
+    obs.counter("sublists", sublists);
+    obs.counter("walk_nodes", walk_nodes);
+    obs.bounded("max_sublist_nodes", max_sublist, 2 * bound - 1);
+    obs.counter("walk_marks", walk_marks);
+    obs.counter("fixup_additions", m.len() as u64 - walk_marks);
+    obs.counter("matched", m.len() as u64);
+    obs.exit();
+    m
+}
+
+/// [`greedy_core`] with an [`Observer`](crate::obs::Observer): after the
+/// plain sweep, an enabled observer records a `sweep` span — the set
+/// count, the bucketed pointer total (= the counting sort's scatter
+/// writes, read off the bucket boundaries the core leaves in
+/// `set_starts`), and the matching size.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn greedy_core_obs<O: crate::obs::Observer>(
+    list: &LinkedList,
+    sets: &[Word],
+    bound: Word,
+    done: &mut Vec<AtomicBool>,
+    greedy_mask: &mut Vec<AtomicBool>,
+    bucket_nodes: &mut Vec<AtomicU32>,
+    hist: &mut Vec<usize>,
+    set_starts: &mut Vec<usize>,
+    obs: &mut O,
+) -> Matching {
+    let m = greedy_core(
+        list,
+        sets,
+        bound,
+        done,
+        greedy_mask,
+        bucket_nodes,
+        hist,
+        set_starts,
+    );
+    if O::ENABLED {
+        let bucketed = *set_starts.last().unwrap_or(&0) as u64;
+        obs.enter("sweep");
+        obs.counter("sets", bound);
+        obs.counter("bucketed_pointers", bucketed);
+        obs.counter("scatter_writes", bucketed);
+        obs.counter("matched", m.len() as u64);
+        obs.exit();
+    }
+    m
+}
+
 /// Match2 step 3: sweep the matching sets in increasing set number;
 /// within a set add every pointer whose endpoints are both still free.
 ///

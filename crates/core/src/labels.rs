@@ -47,17 +47,11 @@ fn width_of(bound: Word) -> u32 {
 
 /// Number of rounds `relabel_to_convergence` performs starting from
 /// `bound` — a pure function of the bound cascade `b → 2⌈log₂ b⌉ + 1`,
-/// independent of the data (Lemma 2's `G(n) + O(1)`).
-pub(crate) fn convergence_rounds(mut bound: Word) -> u32 {
-    let mut rounds = 0;
-    loop {
-        let next = 2 * Word::from(width_of(bound)) + 1;
-        if next >= bound {
-            return rounds;
-        }
-        bound = next;
-        rounds += 1;
-    }
+/// independent of the data (Lemma 2's `G(n) + O(1)`). Delegates to
+/// [`parmatch_bits::cascade_rounds`], the closed form the cost
+/// predictors and bound audits share.
+pub(crate) fn convergence_rounds(bound: Word) -> u32 {
+    parmatch_bits::cascade_rounds(bound)
 }
 
 /// One blocked pass applying `widths.len() ≤ FUSE` consecutive rounds of
@@ -126,6 +120,80 @@ where
         done += g as u32;
     }
     bound
+}
+
+/// Count distinct label values in an array whose values are all `< 256`
+/// — true for any post-round label array, whose bound is at most
+/// `2·64 + 1 = 129`. Parallel per-chunk bitmask census, OR-reduced.
+pub(crate) fn census256(labels: &[Word]) -> u64 {
+    let nchunks = labels.len().div_ceil(FUSE_CHUNK);
+    let partial: Vec<[u64; 4]> = (0..nchunks)
+        .into_par_iter()
+        .map(|ci| {
+            let mut m = [0u64; 4];
+            for &l in &labels[ci * FUSE_CHUNK..((ci + 1) * FUSE_CHUNK).min(labels.len())] {
+                debug_assert!(l < 256, "census256 on labels above 255");
+                m[(l >> 6) as usize] |= 1 << (l & 63);
+            }
+            m
+        })
+        .collect();
+    let mut mask = [0u64; 4];
+    for m in partial {
+        for (x, y) in mask.iter_mut().zip(m) {
+            *x |= y;
+        }
+    }
+    mask.iter().map(|w| u64::from(w.count_ones())).sum()
+}
+
+/// [`relabel_rounds_in`] with an [`Observer`](crate::obs::Observer).
+///
+/// Disabled observers take the fused path unchanged — this compiles to
+/// exactly [`relabel_rounds_in`]. An enabled observer forces one round
+/// per memory pass (`g = 1` through the same [`fused_pass`] kernel, so
+/// the labels stay bit-identical — the property
+/// `fused_rounds_match_unfused_exactly` pins) and records a `relabel`
+/// span: one `round` child per round carrying the round's width, new
+/// bound and a [`census256`] of distinct labels audited against
+/// Lemma 1's `2w`, plus totals (`final_bound`, `bytes_touched`).
+pub(crate) fn relabel_rounds_obs<S, O: crate::obs::Observer>(
+    suc: &S,
+    cur: &mut Vec<Word>,
+    alt: &mut Vec<Word>,
+    bound: Word,
+    rounds: u32,
+    variant: CoinVariant,
+    obs: &mut O,
+) -> Word
+where
+    S: Fn(NodeId) -> NodeId + Sync,
+{
+    if !O::ENABLED {
+        return relabel_rounds_in(suc, cur, alt, bound, rounds, variant);
+    }
+    obs.enter("relabel");
+    obs.counter("rounds", u64::from(rounds));
+    obs.counter("initial_bound", bound);
+    let n = cur.len();
+    alt.resize(n, 0);
+    let mut b = bound;
+    for r in 0..rounds {
+        let w = width_of(b);
+        fused_pass(suc, cur, alt, &[w], variant);
+        std::mem::swap(cur, alt);
+        b = 2 * Word::from(w) + 1;
+        obs.enter("round");
+        obs.counter("k", u64::from(r + 1));
+        obs.counter("width_bits", u64::from(w));
+        obs.counter("bound", b);
+        obs.bounded("distinct_labels", census256(cur), 2 * u64::from(w));
+        obs.exit();
+    }
+    obs.counter("final_bound", b);
+    obs.counter("bytes_touched", crate::obs::relabel_bytes(n, rounds));
+    obs.exit();
+    b
 }
 
 /// The matching partition function on a pair of distinct labels:
@@ -202,6 +270,30 @@ impl LabelSeq {
         Self {
             labels: (0..n as Word).collect(),
             bound: (n as Word).max(1),
+            variant,
+            rounds: 0,
+        }
+    }
+
+    /// Wrap an externally produced label array with a caller-supplied
+    /// exclusive bound — the hook the metamorphic tests use to replay
+    /// rounds from a shifted or permuted label array. The round counter
+    /// restarts at 0; the adjacent-distinct invariant is the caller's
+    /// responsibility (as with [`LabelSeq::initial`], it is what later
+    /// rounds preserve, not what this constructor checks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0` or any label is `>= bound`.
+    pub fn from_labels(labels: Vec<Word>, bound: Word, variant: CoinVariant) -> Self {
+        assert!(bound >= 1, "bound must be positive");
+        assert!(
+            labels.iter().all(|&l| l < bound),
+            "label at or above the claimed bound"
+        );
+        Self {
+            labels,
+            bound,
             variant,
             rounds: 0,
         }
@@ -493,6 +585,71 @@ mod tests {
                 assert_eq!(fused, chained, "k = {k} {variant:?}");
             }
         }
+    }
+
+    #[test]
+    fn census_counts_distinct_values() {
+        assert_eq!(census256(&[]), 0);
+        assert_eq!(census256(&[0, 0, 0]), 1);
+        assert_eq!(census256(&[3, 7, 3, 255, 0, 7]), 4);
+        let many: Vec<Word> = (0..10_000).map(|i| i % 129).collect();
+        assert_eq!(census256(&many), 129);
+    }
+
+    #[test]
+    fn observed_relabel_is_bit_identical_and_audited() {
+        let list = random_list(2000, 21);
+        let n = list.len();
+        for variant in [CoinVariant::Msb, CoinVariant::Lsb] {
+            for rounds in [0u32, 1, 3, 7] {
+                let suc = |u: NodeId| list.next_cyclic(u);
+                let mut plain: Vec<Word> = (0..n as Word).collect();
+                let mut obs_run = plain.clone();
+                let (mut alt_a, mut alt_b) = (Vec::new(), Vec::new());
+                let b1 =
+                    relabel_rounds_in(&suc, &mut plain, &mut alt_a, n as Word, rounds, variant);
+                let mut rec = crate::obs::Recorder::new();
+                let b2 = relabel_rounds_obs(
+                    &suc,
+                    &mut obs_run,
+                    &mut alt_b,
+                    n as Word,
+                    rounds,
+                    variant,
+                    &mut rec,
+                );
+                assert_eq!(plain, obs_run, "rounds={rounds} {variant:?}");
+                assert_eq!(b1, b2);
+                let rec = rec.finish();
+                assert!(rec.all_bounds_hold(), "{}", rec.render());
+                assert_eq!(rec.find("rounds"), Some(u64::from(rounds)));
+                if rounds > 0 {
+                    // Lemma 1: first-round census audited against 2⌈log₂ n⌉.
+                    let a = &rec.audits()[0];
+                    assert_eq!(a.bound, 2 * u64::from(ilog2_ceil(n as Word)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_labels_round_trips() {
+        let list = random_list(600, 4);
+        let l = LabelSeq::initial(&list, CoinVariant::Msb).relabel(&list);
+        let rebuilt = LabelSeq::from_labels(l.labels().to_vec(), l.bound(), l.variant());
+        assert_eq!(rebuilt.labels(), l.labels());
+        assert_eq!(rebuilt.bound(), l.bound());
+        assert_eq!(rebuilt.rounds(), 0);
+        assert_eq!(
+            rebuilt.relabel_k(&list, 2).labels(),
+            l.relabel_k(&list, 2).labels()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at or above")]
+    fn from_labels_rejects_bound_violation() {
+        let _ = LabelSeq::from_labels(vec![0, 5], 5, CoinVariant::Msb);
     }
 
     #[test]

@@ -20,8 +20,9 @@
 //! | [`match1`]–[`match4`] | the four algorithms, rayon-native |
 //! | [`walkdown`] | WalkDown1 (Lemma 6) and WalkDown2 (Lemma 7 pipeline) |
 //! | [`pram_impl`] | step-faithful simulator versions with exact PRAM step counts |
-//! | [`cost`] | the paper's analytic step-count predictions |
+//! | [`cost`] | the paper's analytic step-count and work predictions |
 //! | [`workspace`] | reusable buffer arena for the zero-allocation `*_in` drivers |
+//! | [`obs`] | span-tree instrumentation auditing runs against the paper's bounds |
 //!
 //! # Quick start
 //!
@@ -49,6 +50,7 @@ pub mod match2;
 pub mod match3;
 pub mod match4;
 pub mod matching;
+pub mod obs;
 pub mod partition;
 pub mod pram_impl;
 pub mod shift_graph;
@@ -58,11 +60,12 @@ pub mod walkdown;
 pub mod workspace;
 
 pub use labels::{f_ext, f_pair, LabelSeq};
-pub use match1::{match1, match1_in, Match1Output};
-pub use match2::{match2, match2_in, Match2Output};
-pub use match3::{match3, match3_in, Match3Config, Match3Error, Match3Output};
-pub use match4::{match4, match4_from_partition, match4_in, match4_with, Match4Output};
+pub use match1::{match1, match1_in, match1_obs, Match1Output};
+pub use match2::{match2, match2_in, match2_obs, Match2Output};
+pub use match3::{match3, match3_in, match3_obs, Match3Config, Match3Error, Match3Output};
+pub use match4::{match4, match4_from_partition, match4_in, match4_obs, match4_with, Match4Output};
 pub use matching::Matching;
+pub use obs::{NoopObserver, Observer, Recorder, Recording};
 pub use parmatch_bits::coin::CoinVariant;
 pub use partition::{pointer_sets, set_count, PointerSets};
 pub use workspace::Workspace;

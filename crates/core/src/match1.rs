@@ -11,12 +11,13 @@
 //! `n` nodes. Not optimal (Lemma 3), but the building block of
 //! everything else.
 
-use crate::finish::from_labels_core;
-use crate::labels::{convergence_rounds, relabel_rounds_in};
+use crate::finish::from_labels_core_obs;
+use crate::labels::{convergence_rounds, relabel_rounds_obs};
 use crate::matching::Matching;
+use crate::obs::{NoopObserver, Observer};
 use crate::workspace::Workspace;
 use crate::CoinVariant;
-use parmatch_bits::Word;
+use parmatch_bits::{g_of, Word};
 use parmatch_list::{LinkedList, NodeId};
 
 /// Result of [`match1`]: the matching plus the run's vital signs.
@@ -56,6 +57,22 @@ pub fn match1(list: &LinkedList, variant: CoinVariant) -> Match1Output {
 /// fix-up) works in preallocated buffers. The result is bit-identical to
 /// [`match1`] at every thread count.
 pub fn match1_in(list: &LinkedList, variant: CoinVariant, ws: &mut Workspace) -> Match1Output {
+    match1_obs(list, variant, ws, &mut NoopObserver)
+}
+
+/// [`match1_in`] with an [`Observer`]. With the (default)
+/// [`NoopObserver`] this *is* `match1_in` — every instrumentation site
+/// compiles out. An enabled observer receives a `match1` span: the
+/// per-round `relabel` subtree (distinct-label censuses vs. Lemma 1),
+/// the round count audited against Match1 step 2's `G(n) + O(1)`, the
+/// `finish` subtree (sublist lengths vs. `2·bound − 1`), and the total
+/// work units audited against the `O(n·G(n))` form of Lemma 3.
+pub fn match1_obs<O: Observer>(
+    list: &LinkedList,
+    variant: CoinVariant,
+    ws: &mut Workspace,
+    obs: &mut O,
+) -> Match1Output {
     let n = list.len();
     if n < 2 {
         return Match1Output {
@@ -79,15 +96,30 @@ pub fn match1_in(list: &LinkedList, variant: CoinVariant, ws: &mut Workspace) ->
     } = ws;
     let next_cyc: &[NodeId] = next_cyc;
     let rounds = convergence_rounds(n as Word);
-    let bound = relabel_rounds_in(
+    let g = g_of(n as Word);
+    obs.enter("match1");
+    obs.counter("n", n as u64);
+    let bound = relabel_rounds_obs(
         &|u: NodeId| next_cyc[u as usize],
         labels_a,
         labels_b,
         n as Word,
         rounds,
         variant,
+        obs,
     );
-    let matching = from_labels_core(list, labels_a, pred, cut, mask, matched);
+    if O::ENABLED {
+        obs.bounded("rounds", u64::from(rounds), u64::from(g) + 2);
+    }
+    let matching = from_labels_core_obs(list, labels_a, pred, cut, mask, matched, bound, obs);
+    if O::ENABLED {
+        // n per relabel round, plus the finisher's four passes (cut,
+        // walk, matched scatter, final mask).
+        let wu = n as u64 * u64::from(rounds) + 4 * n as u64;
+        obs.bounded("work_units", wu, (u64::from(g) + 6) * n as u64 + 64);
+        obs.counter("work_per_node_x100", wu * 100 / n as u64);
+    }
+    obs.exit();
     Match1Output {
         matching,
         rounds,

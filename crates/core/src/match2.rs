@@ -14,9 +14,10 @@
 //! processors; the sort step is what stops it scaling further, which is
 //! exactly the gap Match4 closes.
 
-use crate::finish::greedy_core;
-use crate::labels::relabel_rounds_in;
+use crate::finish::greedy_core_obs;
+use crate::labels::relabel_rounds_obs;
 use crate::matching::Matching;
+use crate::obs::{NoopObserver, Observer};
 use crate::partition::{PointerSets, NO_POINTER};
 use crate::workspace::{Workspace, CHUNK};
 use crate::CoinVariant;
@@ -67,6 +68,26 @@ pub fn match2_in(
     variant: CoinVariant,
     ws: &mut Workspace,
 ) -> Match2Output {
+    match2_obs(list, rounds, variant, ws, &mut NoopObserver)
+}
+
+/// [`match2_in`] with an [`Observer`]. With the (default)
+/// [`NoopObserver`] this *is* `match2_in`. An enabled observer receives
+/// a `match2` span: the `relabel` subtree, the distinct matching-set
+/// count audited against the partition bound (Lemma 2's cascade), the
+/// `sweep` subtree from the greedy set sweep, and the total work units
+/// audited against Lemma 4's `O(n)` form.
+///
+/// # Panics
+///
+/// Panics if `rounds == 0`.
+pub fn match2_obs<O: Observer>(
+    list: &LinkedList,
+    rounds: u32,
+    variant: CoinVariant,
+    ws: &mut Workspace,
+    obs: &mut O,
+) -> Match2Output {
     assert!(rounds >= 1, "at least one partition round required");
     let n = list.len();
     if n < 2 {
@@ -92,13 +113,16 @@ pub fn match2_in(
         ..
     } = ws;
     let next_cyc: &[NodeId] = next_cyc;
-    let bound = relabel_rounds_in(
+    obs.enter("match2");
+    obs.counter("n", n as u64);
+    let bound = relabel_rounds_obs(
         &|u: NodeId| next_cyc[u as usize],
         labels_a,
         labels_b,
         n as Word,
         rounds,
         variant,
+        obs,
     );
     let labels: &[Word] = labels_a;
     let set: Vec<Word> = (0..n)
@@ -113,7 +137,10 @@ pub fn match2_in(
         })
         .collect();
     let partition = PointerSets::from_raw(set, bound, rounds);
-    let matching = greedy_core(
+    if O::ENABLED {
+        obs.bounded("distinct_sets", partition.distinct_sets() as u64, bound);
+    }
+    let matching = greedy_core_obs(
         list,
         partition.as_slice(),
         bound,
@@ -122,7 +149,18 @@ pub fn match2_in(
         bucket_nodes,
         hist,
         set_starts,
+        obs,
     );
+    if O::ENABLED {
+        // n per relabel round, set-projection n, counting sort 2n
+        // (histogram + placement of the bucketed pointers, ≤ n each),
+        // sweep over the bucketed pointers, final mask n.
+        let bucketed = *set_starts.last().unwrap_or(&0) as u64;
+        let wu = n as u64 * (u64::from(rounds) + 3) + 2 * bucketed;
+        obs.bounded("work_units", wu, (u64::from(rounds) + 5) * n as u64 + 64);
+        obs.counter("work_per_node_x100", wu * 100 / n as u64);
+    }
+    obs.exit();
     Match2Output {
         matching,
         partition,

@@ -17,9 +17,10 @@
 //! fastest known; the table `T` and its size/constructibility trade-off
 //! live in [`crate::table`].
 
-use crate::finish::from_labels_core;
-use crate::labels::relabel_rounds_in;
+use crate::finish::from_labels_core_obs;
+use crate::labels::relabel_rounds_obs;
 use crate::matching::Matching;
+use crate::obs::{NoopObserver, Observer};
 use crate::table::TableError;
 use crate::workspace::{Workspace, CHUNK};
 use crate::CoinVariant;
@@ -124,6 +125,23 @@ pub fn match3_in(
     config: Match3Config,
     ws: &mut Workspace,
 ) -> Result<Match3Output, Match3Error> {
+    match3_obs(list, config, ws, &mut NoopObserver)
+}
+
+/// [`match3_in`] with an [`Observer`]. With the (default)
+/// [`NoopObserver`] this *is* `match3_in`. An enabled observer receives
+/// a `match3` span: the crunch `relabel` subtree, a `jump` span (rounds,
+/// final window width), a `probe` span (table index width and value
+/// bound), the `finish` subtree, and the total work units audited
+/// against Lemma 5's `O(n·log G(n))` form. An error return (table too
+/// large) may leave the `match3` span open; [`crate::obs::Recorder`]
+/// closes it on finish.
+pub fn match3_obs<O: Observer>(
+    list: &LinkedList,
+    config: Match3Config,
+    ws: &mut Workspace,
+    obs: &mut O,
+) -> Result<Match3Output, Match3Error> {
     if config.crunch_rounds == 0 {
         return Err(Match3Error::NoCrunch);
     }
@@ -143,6 +161,8 @@ pub fn match3_in(
     ws.prepare_address_labels(n);
 
     // Step 2: crunch (fused rounds).
+    obs.enter("match3");
+    obs.counter("n", n as u64);
     let crunch_bound = {
         let Workspace {
             next_cyc,
@@ -151,13 +171,14 @@ pub fn match3_in(
             ..
         } = &mut *ws;
         let next_cyc: &[NodeId] = next_cyc;
-        relabel_rounds_in(
+        relabel_rounds_obs(
             &|u: NodeId| next_cyc[u as usize],
             labels_a,
             labels_b,
             n as Word,
             config.crunch_rounds,
             config.variant,
+            obs,
         )
     };
     let w = ilog2_ceil(crunch_bound).max(1);
@@ -229,6 +250,13 @@ pub fn match3_in(
         std::mem::swap(nxt_a, nxt_b);
         width *= 2;
     }
+    if O::ENABLED {
+        obs.enter("jump");
+        obs.counter("rounds", u64::from(j));
+        obs.counter("window", u64::from(m));
+        obs.counter("window_bits", u64::from(width));
+        obs.exit();
+    }
 
     // Step 4: one probe each.
     {
@@ -244,9 +272,37 @@ pub fn match3_in(
             });
     }
     std::mem::swap(labels_a, labels_b);
+    if O::ENABLED {
+        obs.enter("probe");
+        obs.counter("probes", n as u64);
+        obs.counter("table_bits", u64::from(w * m));
+        obs.counter("value_bound", table.value_bound());
+        obs.exit();
+    }
 
     // Steps 5–6: Match1 steps 3–4.
-    let matching = from_labels_core(list, labels_a, pred, cut, mask, matched);
+    let matching = from_labels_core_obs(
+        list,
+        labels_a,
+        pred,
+        cut,
+        mask,
+        matched,
+        table.value_bound(),
+        obs,
+    );
+    if O::ENABLED {
+        // crunch·n, two passes per jump round (concat + pointer jump),
+        // one probe pass, the finisher's four passes.
+        let wu = n as u64 * (u64::from(config.crunch_rounds) + 2 * u64::from(j) + 5);
+        obs.bounded(
+            "work_units",
+            wu,
+            (u64::from(config.crunch_rounds) + 2 * u64::from(j) + 5) * n as u64 + 64,
+        );
+        obs.counter("work_per_node_x100", wu * 100 / n as u64);
+    }
+    obs.exit();
     Ok(Match3Output {
         matching,
         crunch_rounds: config.crunch_rounds,

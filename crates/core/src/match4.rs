@@ -20,14 +20,15 @@
 //! available by pre-partitioning with [`crate::table`] — the experiment
 //! drivers exercise both.
 
-use crate::finish::{greedy_by_sets, greedy_core};
-use crate::labels::relabel_rounds_in;
+use crate::finish::{greedy_by_sets, greedy_core_obs};
+use crate::labels::relabel_rounds_obs;
 use crate::matching::Matching;
+use crate::obs::{NoopObserver, Observer};
 use crate::partition::{PointerSets, NO_POINTER};
-use crate::walkdown::{color_pointers, walkdown1, walkdown2_in, Grid, UNCOLORED};
+use crate::walkdown::{color_pointers, walkdown1_obs, walkdown2_obs, Grid, UNCOLORED};
 use crate::workspace::{Workspace, CHUNK};
 use crate::CoinVariant;
-use parmatch_bits::Word;
+use parmatch_bits::{ilog2_ceil, Word};
 use parmatch_list::{LinkedList, NodeId, NIL};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -77,6 +78,29 @@ pub fn match4_in(
     variant: CoinVariant,
     ws: &mut Workspace,
 ) -> Match4Output {
+    match4_obs(list, i, variant, ws, &mut NoopObserver)
+}
+
+/// [`match4_in`] with an [`Observer`]. With the (default)
+/// [`NoopObserver`] this *is* `match4_in`. An enabled observer receives
+/// a `match4` span: the step-1 `relabel` subtree, a `partition` span
+/// with the distinct-set census audited against the cascade bound, a
+/// `grid` span (rows `x`, columns `y`, per-column sort work), the
+/// `walkdown1`/`walkdown2` spans with their lockstep rounds audited
+/// against Lemmas 6–7 (`x` and `2x − 1`), the `sweep` subtree, the
+/// combined walk rounds audited against `3x − 1`, and total work units
+/// audited against Theorem 1's `c·n` form.
+///
+/// # Panics
+///
+/// Panics if `i == 0`.
+pub fn match4_obs<O: Observer>(
+    list: &LinkedList,
+    i: u32,
+    variant: CoinVariant,
+    ws: &mut Workspace,
+    obs: &mut O,
+) -> Match4Output {
     assert!(i >= 1, "partition rounds i must be at least 1");
     let n = list.len();
     if n < 2 {
@@ -113,13 +137,16 @@ pub fn match4_in(
 
     // Step 1: the matching partition, as raw per-tail set numbers.
     let next_cyc: &[NodeId] = next_cyc;
-    let bound = relabel_rounds_in(
+    obs.enter("match4");
+    obs.counter("n", n as u64);
+    let bound = relabel_rounds_obs(
         &|u: NodeId| next_cyc[u as usize],
         labels_a,
         labels_b,
         n as Word,
         i,
         variant,
+        obs,
     );
     sets.resize(n, 0);
     {
@@ -162,6 +189,11 @@ pub fn match4_in(
         }
     }
     let distinct_sets: usize = seen.iter().map(|w| w.count_ones() as usize).sum();
+    if O::ENABLED {
+        obs.enter("partition");
+        obs.bounded("distinct_sets", distinct_sets as u64, bound);
+        obs.exit();
+    }
 
     // Steps 2–4: the grid and both walkdowns.
     let x = bound as usize;
@@ -174,10 +206,21 @@ pub fn match4_in(
         row_scatter,
         std::mem::take(grid_store),
     );
+    if O::ENABLED {
+        obs.enter("grid");
+        obs.counter("rows", x as u64);
+        obs.counter("cols", grid.cols() as u64);
+        // per-column comparison sort of x keys, y columns in parallel
+        obs.counter(
+            "sort_work",
+            n as u64 * u64::from(ilog2_ceil(x as Word).max(1)),
+        );
+        obs.exit();
+    }
     let pred: &[NodeId] = pred;
     let colors: &[AtomicU8] = colors;
-    let r1 = walkdown1(list, &grid, pred, colors);
-    let r2 = walkdown2_in(list, &grid, pred, colors, walk_state);
+    let r1 = walkdown1_obs(list, &grid, pred, colors, obs);
+    let r2 = walkdown2_obs(list, &grid, pred, colors, walk_state, obs);
     #[cfg(debug_assertions)]
     {
         let plain: Vec<u8> = colors.iter().map(|a| a.load(Ordering::Relaxed)).collect();
@@ -198,7 +241,7 @@ pub fn match4_in(
                 };
             }
         });
-    let matching = greedy_core(
+    let matching = greedy_core_obs(
         list,
         sets,
         3,
@@ -207,8 +250,22 @@ pub fn match4_in(
         bucket_nodes,
         hist,
         set_starts,
+        obs,
     );
     let cols = grid.cols();
+    if O::ENABLED {
+        obs.bounded("walk_rounds", (r1 + r2) as u64, 3 * x as u64 - 1);
+        // relabel i·n; set projection, census and color-class projection
+        // n each; grid build 5n + the per-column sorts; walk lockstep
+        // work (r1 + r2)·y; greedy histogram + final mask n each, plus
+        // placement and sweep over the bucketed pointers.
+        let lx = u64::from(ilog2_ceil(x as Word).max(1));
+        let bucketed = *set_starts.last().unwrap_or(&0) as u64;
+        let wu = n as u64 * (u64::from(i) + 10 + lx) + ((r1 + r2) * cols) as u64 + 2 * bucketed;
+        obs.bounded("work_units", wu, (u64::from(i) + 16 + lx) * n as u64 + 256);
+        obs.counter("work_per_node_x100", wu * 100 / n as u64);
+    }
+    obs.exit();
     *grid_store = grid.into_storage();
     Match4Output {
         matching,

@@ -335,6 +335,59 @@ pub(crate) fn walkdown2_in(
     steps
 }
 
+/// Pointers colored so far (diagnostic for the observer wrappers).
+fn count_colored(colors: &[AtomicU8]) -> u64 {
+    colors
+        .iter()
+        .filter(|a| a.load(Ordering::Relaxed) != UNCOLORED)
+        .count() as u64
+}
+
+/// [`walkdown1`] with an [`Observer`](crate::obs::Observer): records a
+/// `walkdown1` span with the round count audited against Lemma 6's `x`
+/// lockstep rounds, the processor-rounds of lockstep work, and the
+/// running colored-pointer total.
+pub(crate) fn walkdown1_obs<O: crate::obs::Observer>(
+    list: &LinkedList,
+    grid: &Grid,
+    pred: &[NodeId],
+    colors: &[AtomicU8],
+    obs: &mut O,
+) -> usize {
+    let r = walkdown1(list, grid, pred, colors);
+    if O::ENABLED {
+        obs.enter("walkdown1");
+        obs.bounded("rounds", r as u64, grid.rows() as u64);
+        obs.counter("lockstep_work", r as u64 * grid.cols() as u64);
+        obs.counter("colored", count_colored(colors));
+        obs.exit();
+    }
+    r
+}
+
+/// [`walkdown2_in`] with an [`Observer`](crate::obs::Observer): records
+/// a `walkdown2` span with the step count audited against Corollary 1's
+/// `2x − 1` pipeline steps, the lockstep work, and the colored total
+/// (now every real pointer).
+pub(crate) fn walkdown2_obs<O: crate::obs::Observer>(
+    list: &LinkedList,
+    grid: &Grid,
+    pred: &[NodeId],
+    colors: &[AtomicU8],
+    state: &mut Vec<(usize, Word)>,
+    obs: &mut O,
+) -> usize {
+    let r = walkdown2_in(list, grid, pred, colors, state);
+    if O::ENABLED {
+        obs.enter("walkdown2");
+        obs.bounded("steps", r as u64, (2 * grid.rows() - 1) as u64);
+        obs.counter("lockstep_work", r as u64 * grid.cols() as u64);
+        obs.counter("colored", count_colored(colors));
+        obs.exit();
+    }
+    r
+}
+
 /// Run both walks and return a proper 3-coloring of all pointers as a
 /// plain `u8` array (tail slot left [`UNCOLORED`]), plus the total
 /// number of lockstep rounds.

@@ -1,0 +1,185 @@
+//! Bound-audit suite: every counter the observability layer records
+//! with a paper bound must satisfy it, across a log-spaced size grid
+//! and all four matchers — and the audited runs must be bit-identical
+//! to the plain `*_in` pipelines.
+//!
+//! The paper claims audited here:
+//!
+//! * Lemma 1: one `f` round partitions pointers into `≤ 2⌈log₂ n⌉`
+//!   matching sets (the first-round distinct-label census);
+//! * Lemma 2: every later round's census obeys the `2⌈log₂ b⌉` cascade;
+//! * Match1 step 2: `G(n) + O(1)` (≤ `log* n + O(1)`) relabel rounds;
+//! * Match1 steps 3–4: sublists cut at local minima have `≤ 2·bound − 1`
+//!   nodes, and the walks cover each node exactly once;
+//! * Lemmas 6–7 / Corollary 1: WalkDown1 takes `x` lockstep rounds and
+//!   WalkDown2 `2x − 1` steps;
+//! * Theorems 1–2 (work-optimality): total work is `c·n` with a small
+//!   constant `c`, asserted per matcher below and recorded as
+//!   `work_per_node_x100`.
+
+use parmatch_bits::{g_of, ilog2_ceil, log_star};
+use parmatch_core::{
+    match1_in, match1_obs, match2_in, match2_obs, match3_in, match3_obs, match4_in, match4_obs,
+    CoinVariant, Match3Config, Recorder, Recording, Workspace,
+};
+use parmatch_list::random_list;
+
+/// Log-spaced size grid (powers of 4).
+const GRID: [u64; 7] = [16, 64, 256, 1024, 4096, 16384, 65536];
+
+fn assert_all_pass(rec: &Recording, what: &str) {
+    for a in rec.audits() {
+        assert!(
+            a.pass,
+            "{what}: {} = {} exceeds bound {}",
+            a.path, a.value, a.bound
+        );
+    }
+}
+
+#[test]
+fn match1_bounds_hold_on_grid() {
+    let mut ws = Workspace::new();
+    for &n in &GRID {
+        let list = random_list(n as usize, n ^ 7);
+        let mut r = Recorder::new();
+        let out = match1_obs(&list, CoinVariant::Msb, &mut ws, &mut r);
+        let rec = r.finish();
+        assert_all_pass(&rec, "match1");
+
+        // Lemma 1: the first census is audited against exactly 2⌈log₂ n⌉.
+        let first = rec
+            .audits()
+            .into_iter()
+            .find(|a| a.path.ends_with("distinct_labels"))
+            .expect("census recorded");
+        assert!(first.path.contains("round"));
+        assert_eq!(first.bound, 2 * u64::from(ilog2_ceil(n)), "n={n}");
+
+        // Match1 step 2: G(n) + O(1) ≤ log* n + O(1) rounds.
+        assert!(u64::from(out.rounds) <= u64::from(g_of(n)) + 2, "n={n}");
+        assert!(u64::from(out.rounds) <= u64::from(log_star(n)) + 3, "n={n}");
+
+        // Steps 3–4 walk every node exactly once.
+        assert_eq!(rec.find("walk_nodes"), Some(n), "n={n}");
+
+        // c·n work with c ≤ 12.
+        let wu = rec.find("work_units").expect("work recorded");
+        assert!(wu <= 12 * n, "n={n}: work {wu}");
+    }
+}
+
+#[test]
+fn match2_bounds_hold_on_grid() {
+    let mut ws = Workspace::new();
+    for &n in &GRID {
+        let list = random_list(n as usize, n ^ 21);
+        let mut r = Recorder::new();
+        let out = match2_obs(&list, 2, CoinVariant::Msb, &mut ws, &mut r);
+        let rec = r.finish();
+        assert_all_pass(&rec, "match2");
+        let census = rec
+            .audits()
+            .into_iter()
+            .find(|a| a.path.ends_with("distinct_labels"))
+            .expect("census recorded");
+        assert_eq!(census.bound, 2 * u64::from(ilog2_ceil(n)));
+        assert!(out.partition.distinct_sets() as u64 <= out.partition.bound());
+        let wu = rec.find("work_units").expect("work recorded");
+        assert!(wu <= 8 * n, "n={n}: work {wu}");
+    }
+}
+
+#[test]
+fn match3_bounds_hold_on_grid() {
+    let mut ws = Workspace::new();
+    for &n in &GRID {
+        let list = random_list(n as usize, n ^ 5);
+        let mut r = Recorder::new();
+        let out = match3_obs(&list, Match3Config::default(), &mut ws, &mut r)
+            .expect("default config fits");
+        let rec = r.finish();
+        assert_all_pass(&rec, "match3");
+        assert!(out.jump_rounds >= 1);
+        let wu = rec.find("work_units").expect("work recorded");
+        assert!(wu <= 12 * n, "n={n}: work {wu}");
+    }
+}
+
+#[test]
+fn match4_bounds_hold_on_grid() {
+    let mut ws = Workspace::new();
+    for &n in &GRID {
+        let list = random_list(n as usize, n ^ 13);
+        let mut r = Recorder::new();
+        let out = match4_obs(&list, 2, CoinVariant::Msb, &mut ws, &mut r);
+        let rec = r.finish();
+        assert_all_pass(&rec, "match4");
+
+        // Lemmas 6–7: the walk rounds audit is present and tight.
+        assert_eq!(out.walk_rounds, 3 * out.rows - 1);
+        assert!(rec
+            .audits()
+            .iter()
+            .any(|a| a.path.ends_with("walk_rounds") && a.value == a.bound));
+
+        // c·n work with c ≤ 26 (the sort and walkdown terms dominate).
+        let wu = rec.find("work_units").expect("work recorded");
+        assert!(wu <= 26 * n, "n={n}: work {wu}");
+    }
+}
+
+#[test]
+fn audited_runs_are_bit_identical_to_plain() {
+    // Enabling a real observer must not change one output bit relative
+    // to the uninstrumented pipelines (which themselves are the NoopObserver
+    // path of the same code).
+    let mut ws_a = Workspace::new();
+    let mut ws_b = Workspace::new();
+    for &n in &[97u64, 1024, 6000] {
+        let list = random_list(n as usize, n);
+        for variant in [CoinVariant::Msb, CoinVariant::Lsb] {
+            let plain = match1_in(&list, variant, &mut ws_a);
+            let mut r = Recorder::new();
+            let obs = match1_obs(&list, variant, &mut ws_b, &mut r);
+            assert_eq!(plain.matching, obs.matching, "match1 n={n}");
+            assert_eq!(plain.final_bound, obs.final_bound);
+
+            let plain = match2_in(&list, 2, variant, &mut ws_a);
+            let mut r = Recorder::new();
+            let obs = match2_obs(&list, 2, variant, &mut ws_b, &mut r);
+            assert_eq!(plain.matching, obs.matching, "match2 n={n}");
+
+            let cfg = Match3Config {
+                variant,
+                ..Match3Config::default()
+            };
+            let plain = match3_in(&list, cfg, &mut ws_a).unwrap();
+            let mut r = Recorder::new();
+            let obs = match3_obs(&list, cfg, &mut ws_b, &mut r).unwrap();
+            assert_eq!(plain.matching, obs.matching, "match3 n={n}");
+
+            let plain = match4_in(&list, 2, variant, &mut ws_a);
+            let mut r = Recorder::new();
+            let obs = match4_obs(&list, 2, variant, &mut ws_b, &mut r);
+            assert_eq!(plain.matching, obs.matching, "match4 n={n}");
+            assert_eq!(plain.distinct_sets, obs.distinct_sets);
+            assert_eq!(plain.walk_rounds, obs.walk_rounds);
+        }
+    }
+}
+
+#[test]
+fn recordings_are_deterministic_across_runs() {
+    let list = random_list(3000, 42);
+    let render = |ws: &mut Workspace| {
+        let mut r = Recorder::new();
+        match4_obs(&list, 2, CoinVariant::Msb, ws, &mut r);
+        r.finish().render()
+    };
+    let mut ws = Workspace::new();
+    let a = render(&mut ws);
+    let b = render(&mut ws);
+    assert_eq!(a, b);
+    assert!(!a.contains("VIOLATED"), "{a}");
+}

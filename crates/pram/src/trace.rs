@@ -136,6 +136,19 @@ impl Trace {
             .collect()
     }
 
+    /// Per-phase `(label, steps, work)` summaries — the phase spans of
+    /// [`Trace::phase_spans`] reduced to the two totals the observability
+    /// layer archives (steps in the span, processor-steps of work).
+    pub fn phase_summaries(&self) -> Vec<(String, u64, u64)> {
+        self.phase_spans()
+            .into_iter()
+            .map(|s| {
+                let work = self.work_in(s.start..s.end);
+                (s.label, (s.end - s.start) as u64, work)
+            })
+            .collect()
+    }
+
     /// Record one recovery retry (incremented by self-checking runners
     /// when they re-run a program from a checkpoint).
     pub fn add_retry(&mut self) {
@@ -266,6 +279,22 @@ mod tests {
         let json = tr.to_json();
         assert!(json.contains("\"label\": \"walk\""), "{json}");
         assert!(json.contains("\"retries\": 1"), "{json}");
+    }
+
+    #[test]
+    fn phase_summaries_reduce_spans() {
+        let mut tr = Trace::default();
+        tr.begin_phase("sort");
+        tr.push(t(4));
+        tr.push(t(8));
+        tr.begin_phase("sweep");
+        tr.push(t(2));
+        tr.end_phase();
+        let sums = tr.phase_summaries();
+        assert_eq!(
+            sums,
+            vec![("sort".to_string(), 2, 12), ("sweep".to_string(), 1, 2)]
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! matching contraction only until the instance is small, then switch to
 //! the (work-heavy, fewer rounds) pointer jumping.
 //!
-//! The classic technique of Cole–Vishkin [4] that the paper's
+//! The classic technique of Cole–Vishkin \[4] that the paper's
 //! introduction situates itself in: an `O(n)`-work reducer shrinks the
 //! problem to size `n/log n`, after which Wyllie's `O(m log m)` work on
 //! `m = n/log n` nodes is only `O(n)` — total linear work with fewer

@@ -12,7 +12,7 @@
 //!   and `v`'s leaves `v` (v is a tail, color 0) — distinct. Within a
 //!   pair the edge joins the tail (0) to the head (1).
 
-use parmatch_core::{match4_with, CoinVariant, Matching};
+use parmatch_core::{Algorithm, CoinVariant, Matching, Runner};
 use parmatch_list::{LinkedList, NodeId, NIL};
 
 /// Color of a matched pointer's tail.
@@ -47,7 +47,11 @@ pub fn color3_via_match4(list: &LinkedList, i: u32, variant: CoinVariant) -> Vec
     if list.len() < 2 {
         return vec![FREE_COLOR; list.len()];
     }
-    let m = match4_with(list, i, variant).matching;
+    let m = Runner::new(Algorithm::Match4)
+        .levels(i)
+        .variant(variant)
+        .run(list)
+        .into_matching();
     color3_from_matching(list, &m)
 }
 
@@ -69,7 +73,11 @@ mod tests {
     #[test]
     fn colors_encode_the_matching() {
         let list = random_list(500, 3);
-        let m = match4_with(&list, 2, CoinVariant::Msb).matching;
+        let m = Runner::new(Algorithm::Match4)
+            .levels(2)
+            .variant(CoinVariant::Msb)
+            .run(&list)
+            .into_matching();
         let colors = color3_from_matching(&list, &m);
         for v in 0..500u32 {
             if m.contains_tail(v) {

@@ -19,7 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-//! * [`cascade`] — accelerated cascades (Cole–Vishkin [4]): contract
+//! * [`cascade`] — accelerated cascades (Cole–Vishkin \[4]): contract
 //!   until the instance is `n/log n` small, finish with pointer
 //!   jumping — linear work with fewer contraction levels.
 

@@ -12,7 +12,7 @@
 //! ≥ `(n−1)/3` nodes: `O(log n)` levels, geometric total work `O(n)` —
 //! versus Wyllie's `Θ(n log n)` (see `parmatch-baselines`).
 
-use parmatch_core::{match4_with, CoinVariant};
+use parmatch_core::{Algorithm, CoinVariant, Runner};
 use parmatch_list::{LinkedList, NodeId, NIL};
 use rayon::prelude::*;
 
@@ -115,7 +115,11 @@ pub fn contract_once(
     variant: CoinVariant,
 ) -> (LinkedList, Vec<u64>, ContractionFrame) {
     let n = list.len();
-    let m = match4_with(list, i, variant).matching;
+    let m = Runner::new(Algorithm::Match4)
+        .levels(i)
+        .variant(variant)
+        .run(list)
+        .into_matching();
     let removed = m.mask().to_vec(); // removed[a] ⇔ <a, suc a> matched
 
     // Old → new id map over kept nodes.

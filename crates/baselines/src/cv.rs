@@ -1,5 +1,5 @@
 //! Plain deterministic coin tossing to a 3-coloring of the nodes
-//! (Cole–Vishkin [3] / Han [6]) — the technique Match1 builds on,
+//! (Cole–Vishkin \[3] / Han \[6]) — the technique Match1 builds on,
 //! included as the prior-art baseline for the coloring application.
 //!
 //! Phase 1 iterates the matching partition function on *node* labels to

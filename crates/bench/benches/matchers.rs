@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use parmatch_baselines::{randomized_matching, seq_matching};
 use parmatch_bench::SEED;
-use parmatch_core::{match1, match2, match3, match4, CoinVariant, Match3Config};
+use parmatch_core::{Algorithm, CoinVariant, Runner};
 use parmatch_list::{blocked_list, random_list, sequential_list, LinkedList};
 use std::hint::black_box;
 
@@ -20,16 +20,29 @@ fn bench_all_matchers(c: &mut Criterion) {
             b.iter(|| black_box(seq_matching(l)))
         });
         g.bench_with_input(BenchmarkId::new("match1", &tag), &list, |b, l| {
-            b.iter(|| black_box(match1(l, CoinVariant::Msb)))
+            b.iter(|| {
+                black_box(
+                    Runner::new(Algorithm::Match1)
+                        .variant(CoinVariant::Msb)
+                        .run(l),
+                )
+            })
         });
         g.bench_with_input(BenchmarkId::new("match2", &tag), &list, |b, l| {
-            b.iter(|| black_box(match2(l, 2, CoinVariant::Msb)))
+            b.iter(|| {
+                black_box(
+                    Runner::new(Algorithm::Match2)
+                        .rounds(2)
+                        .variant(CoinVariant::Msb)
+                        .run(l),
+                )
+            })
         });
         g.bench_with_input(BenchmarkId::new("match3", &tag), &list, |b, l| {
-            b.iter(|| black_box(match3(l, Match3Config::default()).unwrap()))
+            b.iter(|| black_box(Runner::new(Algorithm::Match3).run(l)))
         });
         g.bench_with_input(BenchmarkId::new("match4", &tag), &list, |b, l| {
-            b.iter(|| black_box(match4(l, 2)))
+            b.iter(|| black_box(Runner::new(Algorithm::Match4).levels(2).run(l)))
         });
         g.bench_with_input(BenchmarkId::new("randomized", &tag), &list, |b, l| {
             b.iter(|| black_box(randomized_matching(l, SEED)))
@@ -49,7 +62,7 @@ fn bench_layout_sensitivity(c: &mut Criterion) {
     ];
     for (name, list) in &layouts {
         g.bench_with_input(BenchmarkId::from_parameter(name), list, |b, l| {
-            b.iter(|| black_box(match4(l, 2)))
+            b.iter(|| black_box(Runner::new(Algorithm::Match4).levels(2).run(l)))
         });
     }
     g.finish();
@@ -61,7 +74,7 @@ fn bench_match4_i_sweep(c: &mut Criterion) {
     let list = random_list(1 << 18, SEED);
     for i in [1u32, 2, 3, 4] {
         g.bench_with_input(BenchmarkId::from_parameter(i), &i, |b, &i| {
-            b.iter(|| black_box(match4(&list, i)))
+            b.iter(|| black_box(Runner::new(Algorithm::Match4).levels(i).run(&list)))
         });
     }
     g.finish();

@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use parmatch_bench::SEED;
-use parmatch_core::{
-    match1, match1_in, match3, match3_in, match4, match4_in, CoinVariant, Match3Config, Workspace,
-};
+use parmatch_core::{Algorithm, CoinVariant, Runner, Workspace};
 use parmatch_list::random_list;
 use std::hint::black_box;
 
@@ -21,26 +19,46 @@ fn bench_workspace_reuse(c: &mut Criterion) {
         g.throughput(Throughput::Elements(n as u64));
         let tag = format!("2^{e}");
         g.bench_with_input(BenchmarkId::new("match1_fresh", &tag), &list, |b, l| {
-            b.iter(|| black_box(match1(l, CoinVariant::Msb)))
+            b.iter(|| {
+                black_box(
+                    Runner::new(Algorithm::Match1)
+                        .variant(CoinVariant::Msb)
+                        .run(l),
+                )
+            })
         });
         g.bench_with_input(BenchmarkId::new("match1_reused", &tag), &list, |b, l| {
             let mut ws = Workspace::new();
-            b.iter(|| black_box(match1_in(l, CoinVariant::Msb, &mut ws)))
+            b.iter(|| {
+                black_box(
+                    Runner::new(Algorithm::Match1)
+                        .variant(CoinVariant::Msb)
+                        .workspace(&mut ws)
+                        .run(l),
+                )
+            })
         });
         g.bench_with_input(BenchmarkId::new("match3_fresh", &tag), &list, |b, l| {
-            b.iter(|| black_box(match3(l, Match3Config::default()).unwrap()))
+            b.iter(|| black_box(Runner::new(Algorithm::Match3).run(l)))
         });
         g.bench_with_input(BenchmarkId::new("match3_reused", &tag), &list, |b, l| {
             // the reused arena also keeps the lookup table cached
             let mut ws = Workspace::new();
-            b.iter(|| black_box(match3_in(l, Match3Config::default(), &mut ws).unwrap()))
+            b.iter(|| black_box(Runner::new(Algorithm::Match3).workspace(&mut ws).run(l)))
         });
         g.bench_with_input(BenchmarkId::new("match4_fresh", &tag), &list, |b, l| {
-            b.iter(|| black_box(match4(l, 2)))
+            b.iter(|| black_box(Runner::new(Algorithm::Match4).levels(2).run(l)))
         });
         g.bench_with_input(BenchmarkId::new("match4_reused", &tag), &list, |b, l| {
             let mut ws = Workspace::new();
-            b.iter(|| black_box(match4_in(l, 2, CoinVariant::Msb, &mut ws)))
+            b.iter(|| {
+                black_box(
+                    Runner::new(Algorithm::Match4)
+                        .levels(2)
+                        .workspace(&mut ws)
+                        .run(l),
+                )
+            })
         });
     }
     g.finish();
@@ -61,7 +79,16 @@ fn bench_thread_scaling(c: &mut Criterion) {
             .unwrap();
         g.bench_with_input(BenchmarkId::new("match4_in", threads), &list, |b, l| {
             let mut ws = Workspace::new();
-            b.iter(|| pool.install(|| black_box(match4_in(l, 2, CoinVariant::Msb, &mut ws))))
+            b.iter(|| {
+                pool.install(|| {
+                    black_box(
+                        Runner::new(Algorithm::Match4)
+                            .levels(2)
+                            .workspace(&mut ws)
+                            .run(l),
+                    )
+                })
+            })
         });
     }
     g.finish();

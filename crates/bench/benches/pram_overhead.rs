@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use parmatch_bench::SEED;
 use parmatch_core::pram_impl::match1_pram;
-use parmatch_core::{match1, CoinVariant};
+use parmatch_core::{Algorithm, CoinVariant, Runner};
 use parmatch_list::random_list;
 use parmatch_pram::{ExecMode, LegacyMachine, Machine, Model, Region};
 use std::hint::black_box;
@@ -20,7 +20,13 @@ fn bench_engine_modes(c: &mut Criterion) {
         });
     }
     g.bench_function("native_same_algorithm", |b| {
-        b.iter(|| black_box(match1(&list, CoinVariant::Msb)));
+        b.iter(|| {
+            black_box(
+                Runner::new(Algorithm::Match1)
+                    .variant(CoinVariant::Msb)
+                    .run(&list),
+            )
+        });
     });
     g.finish();
 }

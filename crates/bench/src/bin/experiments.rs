@@ -14,7 +14,7 @@ use parmatch_core::pram_impl::{match1_pram, match2_pram, match4_pram};
 use parmatch_core::table::{fold_value, TupleTable};
 use parmatch_core::walkdown::walkdown2_schedule;
 use parmatch_core::{
-    cost, match1, match2, match3, match4, pointer_sets, verify, CoinVariant, LabelSeq, Match3Config,
+    cost, pointer_sets, verify, Algorithm, CoinVariant, LabelSeq, Match3Config, Runner,
 };
 use parmatch_list::random_list;
 use parmatch_pram::ExecMode;
@@ -99,6 +99,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("faults", e15_faults),
     ("native", e16_native_scaling),
     ("bounds", e17_bounds),
+    ("service", e18_service),
 ];
 
 /// E17: the bound audit — every instrumented matcher over a size grid,
@@ -110,9 +111,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
 fn e17_bounds() {
     use parmatch_core::obs::record_pram_trace;
     use parmatch_core::pram_impl::{match2_pram as m2p, match4_pram as m4p};
-    use parmatch_core::{
-        match1_obs, match2_obs, match3_obs, match4_obs, Recorder, Recording, Workspace,
-    };
+    use parmatch_core::{Recorder, Recording, Workspace};
     use parmatch_pram::fault::{arm_with_trace, take_probes, FaultPlan};
 
     let quick = QUICK.load(std::sync::atomic::Ordering::Relaxed);
@@ -172,15 +171,26 @@ fn e17_bounds() {
         };
 
         let mut r = Recorder::new();
-        match1_obs(&list, CoinVariant::Msb, &mut ws, &mut r);
+        Runner::new(Algorithm::Match1)
+            .workspace(&mut ws)
+            .observer(&mut r)
+            .run(&list);
         cell("match1", r.finish(), cost::match1_native_work(n));
 
         let mut r = Recorder::new();
-        match2_obs(&list, 2, CoinVariant::Msb, &mut ws, &mut r);
+        Runner::new(Algorithm::Match2)
+            .rounds(2)
+            .workspace(&mut ws)
+            .observer(&mut r)
+            .run(&list);
         cell("match2", r.finish(), cost::match2_native_work(n, 2));
 
         let mut r = Recorder::new();
-        let out = match3_obs(&list, Match3Config::default(), &mut ws, &mut r).unwrap();
+        let outcome = Runner::new(Algorithm::Match3)
+            .workspace(&mut ws)
+            .observer(&mut r)
+            .run(&list);
+        let out = outcome.as_match3().expect("match3 outcome");
         cell(
             "match3",
             r.finish(),
@@ -188,7 +198,11 @@ fn e17_bounds() {
         );
 
         let mut r = Recorder::new();
-        match4_obs(&list, 2, CoinVariant::Msb, &mut ws, &mut r);
+        Runner::new(Algorithm::Match4)
+            .levels(2)
+            .workspace(&mut ws)
+            .observer(&mut r)
+            .run(&list);
         cell("match4", r.finish(), cost::match4_native_work(n, 2));
     }
     print_table(
@@ -260,7 +274,7 @@ fn e17_bounds() {
 /// thread count. With `--json`, writes `BENCH_native.json`; `--quick`
 /// shrinks the grid to an n = 2^14 CI smoke run.
 fn e16_native_scaling() {
-    use parmatch_core::{match1_in, match2_in, match3_in, match4_in, Workspace};
+    use parmatch_core::Workspace;
     use std::time::Instant;
 
     let quick = QUICK.load(std::sync::atomic::Ordering::Relaxed);
@@ -305,23 +319,47 @@ fn e16_native_scaling() {
                 let mut ws = Workspace::new();
                 let cfg = Match3Config::default();
                 let outs = vec![
-                    match1_in(&list, CoinVariant::Msb, &mut ws).matching,
-                    match2_in(&list, 2, CoinVariant::Msb, &mut ws).matching,
-                    match3_in(&list, cfg, &mut ws).unwrap().matching,
-                    match4_in(&list, 2, CoinVariant::Msb, &mut ws).matching,
+                    Runner::new(Algorithm::Match1)
+                        .workspace(&mut ws)
+                        .run(&list)
+                        .into_matching(),
+                    Runner::new(Algorithm::Match2)
+                        .rounds(2)
+                        .workspace(&mut ws)
+                        .run(&list)
+                        .into_matching(),
+                    Runner::new(Algorithm::Match3)
+                        .config(cfg)
+                        .workspace(&mut ws)
+                        .run(&list)
+                        .into_matching(),
+                    Runner::new(Algorithm::Match4)
+                        .levels(2)
+                        .workspace(&mut ws)
+                        .run(&list)
+                        .into_matching(),
                 ];
                 let secs = vec![
                     med(reps, || {
-                        match1_in(&list, CoinVariant::Msb, &mut ws);
+                        Runner::new(Algorithm::Match1).workspace(&mut ws).run(&list);
                     }),
                     med(reps, || {
-                        match2_in(&list, 2, CoinVariant::Msb, &mut ws);
+                        Runner::new(Algorithm::Match2)
+                            .rounds(2)
+                            .workspace(&mut ws)
+                            .run(&list);
                     }),
                     med(reps, || {
-                        match3_in(&list, cfg, &mut ws).unwrap();
+                        Runner::new(Algorithm::Match3)
+                            .config(cfg)
+                            .workspace(&mut ws)
+                            .run(&list);
                     }),
                     med(reps, || {
-                        match4_in(&list, 2, CoinVariant::Msb, &mut ws);
+                        Runner::new(Algorithm::Match4)
+                            .levels(2)
+                            .workspace(&mut ws)
+                            .run(&list);
                     }),
                 ];
                 (outs, secs, rayon::pool_workers())
@@ -597,6 +635,230 @@ fn engine_bench() {
     json_field("e7_match4", format!("[\n{}\n  ]", json_e7.join(",\n")));
 }
 
+/// E18: the batched match service — fused same-class sweeps vs per-job
+/// runs over a batch-size × size-class grid, with every batched result
+/// asserted bit-identical in-run to a solo [`Runner`] run of the same
+/// job, then the same mix replayed through a live
+/// [`MatchService`](parmatch_service::MatchService).
+/// Timings print to stdout only; with `--json`, writes
+/// `BENCH_service.json` carrying the deterministic fields (grid shape,
+/// fused rounds, identity booleans), so the artifact is byte-identical
+/// across reruns. `--quick` shrinks the job count for CI.
+fn e18_service() {
+    use parmatch_core::{match1_batch_in, BatchKey, BatchPlan, Workspace};
+    use parmatch_list::LinkedList;
+    use parmatch_service::{JobSpec, MatchService, ServiceConfig, SubmitError};
+    use std::time::Instant;
+
+    let quick = QUICK.load(std::sync::atomic::Ordering::Relaxed);
+    println!("## E18 — service: fused batched sweeps vs per-job runs");
+    let jobs_total: usize = if quick { 512 } else { 4096 };
+    let classes: &[(&str, usize, usize)] = &[("33..=64", 33, 64), ("65..=128", 65, 128)];
+    let batch_sizes: &[usize] = &[8, 32, 128];
+    let reps = if quick { 3 } else { 5 };
+
+    // Median seconds per call over `reps` calls after one warmup.
+    fn med<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+        f();
+        let mut times: Vec<f64> = (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    }
+
+    let job_mix = |lo: usize, hi: usize| -> Vec<LinkedList> {
+        (0..jobs_total)
+            .map(|j| random_list(lo + j % (hi - lo + 1), SEED + j as u64))
+            .collect()
+    };
+
+    let mut ws = Workspace::new();
+    let mut rows = Vec::new();
+    let mut json_cells = Vec::new();
+    let (mut mix_batched, mut mix_solo) = (0.0f64, 0.0f64);
+    for &(label, lo, hi) in classes {
+        let lists = job_mix(lo, hi);
+        let key = BatchKey::of(lists[0].len(), CoinVariant::Msb).expect("class is batchable");
+        for l in &lists {
+            assert_eq!(
+                BatchKey::of(l.len(), CoinVariant::Msb),
+                Some(key),
+                "size class {label} must share one batch key"
+            );
+        }
+        // Solo reference outputs: the bit-identity oracle for the cell.
+        let solo: Vec<parmatch_core::Matching> = lists
+            .iter()
+            .map(|l| Runner::new(Algorithm::Match1).run(l).into_matching())
+            .collect();
+        for &batch in batch_sizes {
+            let groups: Vec<Vec<&LinkedList>> =
+                lists.chunks(batch).map(|c| c.iter().collect()).collect();
+            let plans: Vec<BatchPlan> = groups
+                .iter()
+                .map(|g| BatchPlan::new(g, CoinVariant::Msb).expect("one width class fuses"))
+                .collect();
+            let total_nodes: usize = plans.iter().map(BatchPlan::total_nodes).sum();
+            // In-run bit-identity: every fused output equals its solo run.
+            let mut idx = 0usize;
+            for (g, plan) in groups.iter().zip(&plans) {
+                for out in match1_batch_in(g, plan, &mut ws) {
+                    assert_eq!(
+                        out.matching, solo[idx],
+                        "batched job {idx} ({label}, batch {batch}) diverged from its solo run"
+                    );
+                    idx += 1;
+                }
+            }
+            assert_eq!(idx, lists.len());
+            let t_batched = med(reps, || {
+                for (g, plan) in groups.iter().zip(&plans) {
+                    match1_batch_in(g, plan, &mut ws);
+                }
+            });
+            // Per-job baseline: what a caller without the service runs
+            // per request — one Runner, fresh arena each time.
+            let t_fresh = med(reps, || {
+                for l in &lists {
+                    Runner::new(Algorithm::Match1).run(l);
+                }
+            });
+            // Pooled solo: same reused arena, no fusing — isolates the
+            // batching win from the pooling win.
+            let t_pooled = med(reps, || {
+                for l in &lists {
+                    Runner::new(Algorithm::Match1).workspace(&mut ws).run(l);
+                }
+            });
+            if batch == 32 {
+                mix_batched += t_batched;
+                mix_solo += t_fresh;
+            }
+            rows.push(vec![
+                label.to_string(),
+                batch.to_string(),
+                plans.len().to_string(),
+                key.rounds().to_string(),
+                format!("{:.1} ms", t_batched * 1e3),
+                format!("{:.1} ms", t_fresh * 1e3),
+                format!("{:.1} ms", t_pooled * 1e3),
+                format!("{:.2}x", t_fresh / t_batched),
+                format!("{:.2}x", t_pooled / t_batched),
+            ]);
+            json_cells.push(format!(
+                "    {{\"class\": \"{label}\", \"batch\": {batch}, \"jobs\": {jobs_total}, \
+                 \"batches\": {}, \"rounds\": {}, \"total_nodes\": {total_nodes}, \
+                 \"identical\": true}}",
+                plans.len(),
+                key.rounds()
+            ));
+        }
+    }
+    print_table(
+        &[
+            "class",
+            "batch",
+            "batches",
+            "rounds",
+            "batched",
+            "fresh",
+            "pooled",
+            "vs fresh",
+            "vs pooled",
+        ],
+        &rows,
+    );
+    let mix_ratio = mix_solo / mix_batched;
+    println!(
+        "({jobs_total}-job mix per class, Match1 Msb; fused batches amortize the arena \
+         prepare and run one relabel sweep over the concatenated lists; mix speedup at \
+         batch 32 vs fresh per-job runs: {mix_ratio:.2}x)"
+    );
+    if !quick {
+        assert!(
+            mix_ratio >= 2.0,
+            "batched throughput must be at least 2x the per-job baseline (got {mix_ratio:.2}x)"
+        );
+    }
+
+    // The same small-list mix through a live service: concurrent
+    // submission, pooled arenas, opportunistic fusing — every result
+    // still bit-identical to its solo run.
+    println!();
+    let lists = job_mix(33, 64);
+    let solo: Vec<parmatch_core::Matching> = lists
+        .iter()
+        .map(|l| Runner::new(Algorithm::Match1).run(l).into_matching())
+        .collect();
+    let svc = MatchService::start(ServiceConfig {
+        workers: 2,
+        queue_depth: 64,
+        arenas: 2,
+        max_batch: 32,
+        threads_per_job: 1,
+    });
+    let t = Instant::now();
+    let mut by_id = std::collections::HashMap::new();
+    let mut results = Vec::new();
+    for (j, list) in lists.iter().enumerate() {
+        let mut spec = JobSpec::new(Algorithm::Match1, list.clone());
+        let id = loop {
+            match svc.submit(spec) {
+                Ok(id) => break id,
+                Err(SubmitError::Busy(returned)) => {
+                    spec = returned;
+                    if let Some(r) = svc.recv() {
+                        results.push(r);
+                    }
+                }
+                Err(SubmitError::Closed(_)) => unreachable!("service stays open"),
+            }
+        };
+        by_id.insert(id, j);
+    }
+    while results.len() < lists.len() {
+        results.push(svc.recv().expect("all jobs complete"));
+    }
+    svc.shutdown();
+    let wall = t.elapsed();
+    let fused = results.iter().filter(|r| r.batched).count();
+    for r in &results {
+        let j = by_id[&r.id];
+        let out = r.output.as_ref().expect("service job succeeds");
+        assert_eq!(
+            out.matching().expect("match job"),
+            &solo[j],
+            "service result for job {j} diverged from its solo run"
+        );
+    }
+    println!(
+        "service replay: {} jobs through 2 workers in {}, {} fused into batches; every \
+         result asserted bit-identical to its solo run",
+        lists.len(),
+        fmt_dur(wall),
+        fused
+    );
+
+    let json_active = JSON_OUT.with(|j| j.borrow().is_some());
+    if json_active {
+        let body = format!(
+            "{{\n  \"experiment\": \"service\",\n  \"quick\": {quick},\n  \"seed\": {SEED},\n  \
+             \"jobs\": {jobs_total},\n  \"algorithm\": \"match1\",\n  \"cells\": [\n{}\n  ],\n  \
+             \"service\": {{\"jobs\": {}, \"workers\": 2, \"max_batch\": 32, \
+             \"identical\": true}}\n}}\n",
+            json_cells.join(",\n"),
+            lists.len()
+        );
+        std::fs::write("BENCH_service.json", body).expect("write BENCH_service.json");
+        println!("wrote BENCH_service.json");
+    }
+}
+
 /// E1 (Fig. 1–2): forward/backward pointers crossing each bisecting line
 /// form matchings; histogram of g-values.
 fn e1_bisecting_lines() {
@@ -785,8 +1047,9 @@ fn e6_match3() {
             crunch_rounds: k,
             ..Match3Config::default()
         };
-        match timed(|| match3(&list, cfg)) {
-            (Ok(out), d) => {
+        match timed(|| Runner::new(Algorithm::Match3).config(cfg).try_run(&list)) {
+            (Ok(outcome), d) => {
+                let out = outcome.as_match3().expect("match3 outcome");
                 verify::assert_maximal_matching(&list, &out.matching);
                 rows.push(vec![
                     k.to_string(),
@@ -817,10 +1080,10 @@ fn e6_match3() {
         ],
         &rows,
     );
-    let (m1, d1) = timed(|| match1(&list, CoinVariant::Msb));
-    verify::assert_maximal_matching(&list, &m1.matching);
+    let (m1, d1) = timed(|| Runner::new(Algorithm::Match1).run(&list));
+    verify::assert_maximal_matching(&list, m1.matching());
     println!("(reference: Match1 on the same list takes {} with {} rounds — Match3 trades its G(n) rounds for log G(n) jumps + one probe; n = 2^20)",
-        fmt_dur(d1), m1.rounds);
+        fmt_dur(d1), m1.as_match1().expect("match1 outcome").rounds);
 }
 
 /// E7 (Match4, Theorems 1–2): the headline curves.
@@ -1277,9 +1540,9 @@ fn e11_native() {
             .build()
             .unwrap();
         let (d1, d2, d4, dr) = pool.install(|| {
-            let (_, d1) = timed(|| match1(&list, CoinVariant::Msb));
-            let (_, d2) = timed(|| match2(&list, 2, CoinVariant::Msb));
-            let (_, d4) = timed(|| match4(&list, 2));
+            let (_, d1) = timed(|| Runner::new(Algorithm::Match1).run(&list));
+            let (_, d2) = timed(|| Runner::new(Algorithm::Match2).rounds(2).run(&list));
+            let (_, d4) = timed(|| Runner::new(Algorithm::Match4).levels(2).run(&list));
             let (_, dr) = timed(|| randomized_matching(&list, SEED));
             (d1, d2, d4, dr)
         });

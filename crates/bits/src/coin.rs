@@ -13,7 +13,7 @@
 //! (`f_1`, used in Han's thesis and in Cole–Vishkin) "gains the advantage
 //! for computing function f at the expense of losing intuition".
 //! Both variants are provided here; the rest of the workspace selects
-//! between them via [`CoinVariant`](crate::coin::CoinVariant).
+//! between them via [`CoinVariant`].
 
 use crate::Word;
 

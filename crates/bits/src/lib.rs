@@ -13,7 +13,7 @@
 //!   the least-significant-bit machinery ([`reversal`]);
 //! * evaluation of the iterated logarithm `log^(i) n`, of
 //!   `G(n) = min{k : log^(k) n < 1}` (the iterated-log depth, `log* n` up
-//!   to an additive constant) and of `log G(n)` ([`iterated_log`]).
+//!   to an additive constant) and of `log G(n)` ([`iterated_log`](mod@iterated_log)).
 //!
 //! Everything here is exact integer arithmetic on `u64` words; every
 //! table-driven routine has a hardware-instruction twin

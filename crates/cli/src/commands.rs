@@ -5,8 +5,8 @@ use parmatch_core::pram_impl::{
     match1_pram, match2_pram, match3_pram, match4_pram, rank_pram, wyllie_pram,
 };
 use parmatch_core::{
-    match1, match1_obs, match2, match2_obs, match3, match3_obs, match4_obs, match4_with, verify,
-    CoinVariant, Match3Config, Matching, Recorder, Recording, Workspace,
+    verify, Algorithm, CoinVariant, Match3Config, MatchOutcome, Matching, Recorder, Recording,
+    Runner, Workspace,
 };
 use parmatch_list::{
     bit_reversal_list, blocked_list, from_text, random_list, reversed_list, sequential_list,
@@ -47,6 +47,16 @@ COMMANDS
           plus an audit summary. Output contains no timings, so it
           is byte-stable across runs and thread counts. Exits with
           an error if any bound is violated.
+  serve   --jobs FILE [--workers W] [--queue Q] [--arenas A]
+          [--max-batch B] [--threads-per-job T]
+          Replay a job file through the batched match service: one job
+          per line, `<algo> --n N [--seed S] [--variant msb|lsb]
+          [--rounds K] [--i I] [--threads T] [--deadline-ms D]
+          [--observed]`; blank lines and `#` comments are skipped.
+          Jobs run concurrently over a bounded pool of reusable
+          workspace arenas — compatible small lists fuse into one
+          batched sweep — and results print in submission order,
+          each bit-identical to a solo run of the same spec.
   verify  (--input FILE | --faults [--n N] [--seed S] [--trials T])
           Structural validation of a list file, or the fault-injection
           self-check: seeded faults through every matcher, asserting
@@ -107,6 +117,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "mis" => cmd_mis(&args),
         "steps" => cmd_steps(&args),
         "trace" => cmd_trace(&args),
+        "serve" => cmd_serve(&args),
         "verify" => cmd_verify(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!("unknown command {other:?}"))),
@@ -207,48 +218,57 @@ fn cmd_match_compute(
             let out = parmatch_baselines::randomized_matching(list, args.get_or("seed", 42)?);
             (out.matching, format!(" in {} coin rounds", out.rounds))
         }
-        "match1" => {
-            let out = match1(list, variant);
-            (
-                out.matching,
-                format!(" in {} f-rounds (bound {})", out.rounds, out.final_bound),
-            )
+        name => {
+            let algo: Algorithm = name
+                .parse()
+                .map_err(|_| CliError::new(format!("unknown algo {name:?}")))?;
+            let outcome = runner_for(algo, args, variant)?
+                .try_run(list)
+                .map_err(|e| CliError::new(e.to_string()))?;
+            let extra = format!(" via {}", outcome_extra(&outcome));
+            (outcome.into_matching(), extra)
         }
-        "match2" => {
-            let out = match2(list, args.get_or("rounds", 2)?, variant);
-            (
-                out.matching,
-                format!(" via {} matching sets", out.partition.distinct_sets()),
-            )
-        }
-        "match3" => {
-            let cfg = Match3Config {
-                crunch_rounds: args.get_or("rounds", 3)?,
-                variant,
-                ..Match3Config::default()
-            };
-            let out = match3(list, cfg).map_err(|e| CliError::new(e.to_string()))?;
-            (
-                out.matching,
-                format!(
-                    " via a 2^{}-entry table, {} jumps",
-                    out.table_bits, out.jump_rounds
-                ),
-            )
-        }
-        "match4" => {
-            let out = match4_with(list, args.get_or("i", 2)?, variant);
-            (
-                out.matching,
-                format!(
-                    " on a {}×{} grid, {} walk rounds",
-                    out.rows, out.cols, out.walk_rounds
-                ),
-            )
-        }
-        other => return Err(CliError::new(format!("unknown algo {other:?}"))),
     };
     Ok(out)
+}
+
+/// Build the [`Runner`] a subcommand's `--rounds`/`--i` flags describe.
+fn runner_for<'w, 'o>(
+    algo: Algorithm,
+    args: &Args,
+    variant: CoinVariant,
+) -> Result<Runner<'w, 'o>, CliError> {
+    let runner = match algo {
+        Algorithm::Match1 => Runner::new(algo),
+        Algorithm::Match2 => Runner::new(algo).rounds(args.get_or("rounds", 2)?),
+        Algorithm::Match3 => Runner::new(algo).config(Match3Config {
+            crunch_rounds: args.get_or("rounds", 3)?,
+            variant,
+            ..Match3Config::default()
+        }),
+        Algorithm::Match4 => Runner::new(algo).levels(args.get_or("i", 2)?),
+    };
+    Ok(runner.variant(variant))
+}
+
+/// One-line per-algorithm detail pulled back out of a [`MatchOutcome`].
+fn outcome_extra(outcome: &MatchOutcome) -> String {
+    match outcome {
+        MatchOutcome::Match1(out) => {
+            format!("{} f-rounds (bound {})", out.rounds, out.final_bound)
+        }
+        MatchOutcome::Match2(out) => {
+            format!("{} matching sets", out.partition.distinct_sets())
+        }
+        MatchOutcome::Match3(out) => format!(
+            "2^{}-entry table, {} jumps",
+            out.table_bits, out.jump_rounds
+        ),
+        MatchOutcome::Match4(out) => format!(
+            "{}×{} grid, {} walk rounds",
+            out.rows, out.cols, out.walk_rounds
+        ),
+    }
 }
 
 fn cmd_rank(args: &Args) -> Result<String, CliError> {
@@ -396,41 +416,19 @@ fn cmd_trace(args: &Args) -> Result<String, CliError> {
     let list = list_of(args)?;
     let variant = variant_of(args)?;
     let threads: usize = args.get_or("threads", 0)?;
-    let algo = args.get("algo").unwrap_or("match4");
+    let algo_name = args.get("algo").unwrap_or("match4");
+    let algo: Algorithm = algo_name
+        .parse()
+        .map_err(|_| CliError::new(format!("unknown algo {algo_name:?}")))?;
     let run = || -> Result<(Recording, String), CliError> {
         let mut ws = Workspace::new();
         let mut rec = Recorder::new();
-        let extra = match algo {
-            "match1" => {
-                let out = match1_obs(&list, variant, &mut ws, &mut rec);
-                format!("{} f-rounds (bound {})", out.rounds, out.final_bound)
-            }
-            "match2" => {
-                let out = match2_obs(&list, args.get_or("rounds", 2)?, variant, &mut ws, &mut rec);
-                format!("{} matching sets", out.partition.distinct_sets())
-            }
-            "match3" => {
-                let cfg = Match3Config {
-                    crunch_rounds: args.get_or("rounds", 3)?,
-                    variant,
-                    ..Match3Config::default()
-                };
-                let out = match3_obs(&list, cfg, &mut ws, &mut rec)
-                    .map_err(|e| CliError::new(e.to_string()))?;
-                format!(
-                    "2^{}-entry table, {} jumps",
-                    out.table_bits, out.jump_rounds
-                )
-            }
-            "match4" => {
-                let out = match4_obs(&list, args.get_or("i", 2)?, variant, &mut ws, &mut rec);
-                format!(
-                    "{}×{} grid, {} walk rounds",
-                    out.rows, out.cols, out.walk_rounds
-                )
-            }
-            other => return Err(CliError::new(format!("unknown algo {other:?}"))),
-        };
+        let outcome = runner_for(algo, args, variant)?
+            .workspace(&mut ws)
+            .observer(&mut rec)
+            .try_run(&list)
+            .map_err(|e| CliError::new(e.to_string()))?;
+        let extra = outcome_extra(&outcome);
         Ok((rec.finish(), extra))
     };
     let (rec, extra) = if threads > 0 {
@@ -454,6 +452,137 @@ fn cmd_trace(args: &Args) -> Result<String, CliError> {
     out.push_str(&format!("audit: {held}/{} bounds hold\n", audits.len()));
     if held != audits.len() {
         return Err(CliError::new(out));
+    }
+    Ok(out)
+}
+
+/// Parse one job-file line (`<algo> --n N [options]`) into a
+/// [`parmatch_service::JobSpec`].
+fn parse_job_line(
+    line: &str,
+    context: &dyn Fn(String) -> CliError,
+) -> Result<parmatch_service::JobSpec, CliError> {
+    use parmatch_service::JobSpec;
+    let mut tokens: Vec<String> = line.split_whitespace().map(String::from).collect();
+    let algo_name = tokens.remove(0);
+    let algo: Algorithm = algo_name
+        .parse()
+        .map_err(|_| context(format!("unknown algorithm {algo_name:?}")))?;
+    let job_args = Args::parse(tokens).map_err(|e| context(e.to_string()))?;
+    let err = |e: ArgError| context(e.to_string());
+    let n: usize = job_args.require_as("n").map_err(err)?;
+    let seed: u64 = job_args.get_or("seed", 42).map_err(err)?;
+    let variant = variant_of(&job_args).map_err(|e| context(e.message))?;
+    let mut spec = JobSpec::new(algo, random_list(n, seed)).variant(variant);
+    match algo {
+        Algorithm::Match1 => {}
+        Algorithm::Match2 => spec = spec.rounds(job_args.get_or("rounds", 2).map_err(err)?),
+        Algorithm::Match3 => {
+            spec = spec.config(Match3Config {
+                crunch_rounds: job_args.get_or("rounds", 3).map_err(err)?,
+                variant,
+                ..Match3Config::default()
+            })
+        }
+        Algorithm::Match4 => spec = spec.levels(job_args.get_or("i", 2).map_err(err)?),
+    }
+    let threads: usize = job_args.get_or("threads", 0).map_err(err)?;
+    if threads > 0 {
+        spec = spec.threads(threads);
+    }
+    let deadline_ms: u64 = job_args.get_or("deadline-ms", 0).map_err(err)?;
+    if deadline_ms > 0 {
+        spec = spec.deadline(std::time::Duration::from_millis(deadline_ms));
+    }
+    if job_args.flag("observed") {
+        spec = spec.observed();
+    }
+    Ok(spec)
+}
+
+/// `serve --jobs FILE`: replay a job file through the batched
+/// [`parmatch_service::MatchService`] and print one line per job, in
+/// submission order.
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    use parmatch_service::{JobId, JobResult, MatchService, ServiceConfig, SubmitError};
+    let path = args.require("jobs")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
+    let svc = MatchService::start(ServiceConfig {
+        workers: args.get_or("workers", 2)?,
+        queue_depth: args.get_or("queue", 64)?,
+        arenas: args.get_or("arenas", 2)?,
+        max_batch: args.get_or("max-batch", 32)?,
+        threads_per_job: args.get_or("threads-per-job", 0)?,
+    });
+    let mut meta: Vec<(JobId, String)> = Vec::new();
+    let mut results: Vec<JobResult> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let context = |msg: String| CliError::new(format!("{path}:{}: {msg}", lineno + 1));
+        let mut spec = parse_job_line(line, &context)?;
+        let desc = format!("{} n={}", spec.algorithm, spec.list.len());
+        // Bounded-queue backpressure: on Busy, drain one result and
+        // retry with the spec the service handed back.
+        let id = loop {
+            match svc.submit(spec) {
+                Ok(id) => break id,
+                Err(SubmitError::Busy(returned)) => {
+                    spec = returned;
+                    if let Some(r) = svc.recv() {
+                        results.push(r);
+                    }
+                }
+                Err(SubmitError::Closed(_)) => {
+                    return Err(CliError::new("service closed unexpectedly"))
+                }
+            }
+        };
+        meta.push((id, desc));
+    }
+    while results.len() < meta.len() {
+        let r = svc
+            .recv()
+            .ok_or_else(|| CliError::new("service stopped before all jobs completed"))?;
+        results.push(r);
+    }
+    let report = svc.shutdown();
+    let index: std::collections::HashMap<JobId, usize> =
+        results.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
+    let mut out = format!("serve: {} jobs from {path}\n", meta.len());
+    let (mut batched, mut failed) = (0usize, 0usize);
+    for (id, desc) in &meta {
+        let r = &results[index[id]];
+        match &r.output {
+            Ok(o) => {
+                let m = o.matching().expect("match jobs carry a matching");
+                batched += usize::from(r.batched);
+                out.push_str(&format!(
+                    "{id} {desc}: matched {} pointers{}\n",
+                    m.len(),
+                    if r.batched { " [batched]" } else { "" },
+                ));
+            }
+            Err(e) => {
+                failed += 1;
+                out.push_str(&format!("{id} {desc}: error: {e}\n"));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "completed {} jobs ({batched} batched, {failed} failed)\n",
+        meta.len()
+    ));
+    let audits = report.recording.audits();
+    if !audits.is_empty() {
+        let held = audits.iter().filter(|a| a.pass).count();
+        out.push_str(&format!("audit: {held}/{} bounds hold\n", audits.len()));
+        if held != audits.len() {
+            return Err(CliError::new(out));
+        }
     }
     Ok(out)
 }
@@ -635,6 +764,48 @@ mod tests {
         assert!(out.contains("verified:"), "{out}");
         assert!(out.contains("duplicate_write"), "{out}");
         assert!(cli("verify --faults --n 1").is_err(), "n below 2 rejected");
+    }
+
+    #[test]
+    fn serve_replays_a_job_file() {
+        let dir = std::env::temp_dir().join("parmatch-cli-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("jobs.txt");
+        let mut jobs =
+            String::from("# one width class of small jobs, then one of each algorithm\n");
+        for i in 0..8 {
+            jobs.push_str(&format!("match1 --n {} --seed {i}\n", 33 + 4 * i));
+        }
+        jobs.push_str("\nmatch2 --n 200 --seed 1 --rounds 2\n");
+        jobs.push_str("match3 --n 300 --seed 2 --variant lsb\n");
+        jobs.push_str("match4 --n 400 --seed 3 --i 2 --threads 2\n");
+        jobs.push_str("match4 --n 256 --seed 4 --observed\n");
+        std::fs::write(&path, jobs).unwrap();
+        let p = path.to_str().unwrap();
+        let out = cli(&format!("serve --jobs {p} --workers 2 --queue 4")).unwrap();
+        assert!(out.contains("serve: 12 jobs"), "{out}");
+        assert!(out.contains("completed 12 jobs"), "{out}");
+        assert!(out.contains("0 failed"), "{out}");
+        assert!(out.contains("job#0 match1 n=33: matched"), "{out}");
+        assert!(out.contains("match4 n=256: matched"), "{out}");
+        // the observed job surfaces the service-level audit summary
+        assert!(out.contains("bounds hold"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_rejects_bad_job_lines() {
+        let dir = std::env::temp_dir().join("parmatch-cli-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad-jobs.txt");
+        std::fs::write(&path, "match9 --n 10\n").unwrap();
+        let p = path.to_str().unwrap();
+        let err = cli(&format!("serve --jobs {p}")).unwrap_err();
+        assert!(err.message.contains("unknown algorithm"), "{err}");
+        std::fs::write(&path, "match1 --seed 3\n").unwrap();
+        assert!(cli(&format!("serve --jobs {p}")).is_err(), "missing --n");
+        std::fs::remove_file(&path).ok();
+        assert!(cli("serve --jobs /no/such/file").is_err());
     }
 
     #[test]

@@ -373,7 +373,7 @@ impl LabelSeq {
     }
 
     /// Apply `k` rounds of [`relabel`](Self::relabel), fusing up to
-    /// [`FUSE`] rounds into each blocked memory pass. Bit-identical to
+    /// `FUSE` rounds into each blocked memory pass. Bit-identical to
     /// `k` chained `relabel` calls (each fold step uses the width its
     /// round would use), but reads/writes the label array `⌈k/FUSE⌉`
     /// times instead of `k` times.

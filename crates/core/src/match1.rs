@@ -43,11 +43,14 @@ pub struct Match1Output {
 /// use parmatch_list::random_list;
 ///
 /// let list = random_list(10_000, 1);
+/// # #[allow(deprecated)]
 /// let out = match1(&list, CoinVariant::Msb);
 /// verify::assert_maximal_matching(&list, &out.matching);
 /// assert!(out.rounds <= 5);          // ≈ G(n): effectively constant
 /// assert!(out.final_bound <= 9);     // the cascade's fixed point
 /// ```
+#[deprecated(note = "use Runner")]
+#[allow(deprecated)]
 pub fn match1(list: &LinkedList, variant: CoinVariant) -> Match1Output {
     match1_in(list, variant, &mut Workspace::new())
 }
@@ -56,6 +59,8 @@ pub fn match1(list: &LinkedList, variant: CoinVariant) -> Match1Output {
 /// on a given list size every pass (fused relabel rounds, cut, walk,
 /// fix-up) works in preallocated buffers. The result is bit-identical to
 /// [`match1`] at every thread count.
+#[deprecated(note = "use Runner")]
+#[allow(deprecated)]
 pub fn match1_in(list: &LinkedList, variant: CoinVariant, ws: &mut Workspace) -> Match1Output {
     match1_obs(list, variant, ws, &mut NoopObserver)
 }
@@ -67,6 +72,7 @@ pub fn match1_in(list: &LinkedList, variant: CoinVariant, ws: &mut Workspace) ->
 /// the round count audited against Match1 step 2's `G(n) + O(1)`, the
 /// `finish` subtree (sublist lengths vs. `2·bound − 1`), and the total
 /// work units audited against the `O(n·G(n))` form of Lemma 3.
+#[deprecated(note = "use Runner")]
 pub fn match1_obs<O: Observer>(
     list: &LinkedList,
     variant: CoinVariant,
@@ -128,6 +134,7 @@ pub fn match1_obs<O: Observer>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::verify;

@@ -45,6 +45,7 @@ pub struct Match2Output {
 /// use parmatch_list::random_list;
 ///
 /// let list = random_list(10_000, 1);
+/// # #[allow(deprecated)]
 /// let out = match2(&list, 2, CoinVariant::Msb);
 /// verify::assert_maximal_matching(&list, &out.matching);
 /// // two rounds leave ≈ 2·log log n matching sets to sweep
@@ -54,6 +55,8 @@ pub struct Match2Output {
 /// # Panics
 ///
 /// Panics if `rounds == 0`.
+#[deprecated(note = "use Runner")]
+#[allow(deprecated)]
 pub fn match2(list: &LinkedList, rounds: u32, variant: CoinVariant) -> Match2Output {
     match2_in(list, rounds, variant, &mut Workspace::new())
 }
@@ -62,6 +65,8 @@ pub fn match2(list: &LinkedList, rounds: u32, variant: CoinVariant) -> Match2Out
 /// chunked counting-sort bucketing and a per-set parallel sweep, all in
 /// preallocated buffers (the returned partition is the only steady-state
 /// allocation). Bit-identical to [`match2`] at every thread count.
+#[deprecated(note = "use Runner")]
+#[allow(deprecated)]
 pub fn match2_in(
     list: &LinkedList,
     rounds: u32,
@@ -81,6 +86,7 @@ pub fn match2_in(
 /// # Panics
 ///
 /// Panics if `rounds == 0`.
+#[deprecated(note = "use Runner")]
 pub fn match2_obs<O: Observer>(
     list: &LinkedList,
     rounds: u32,
@@ -168,6 +174,7 @@ pub fn match2_obs<O: Observer>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::verify;

@@ -107,10 +107,13 @@ pub struct Match3Output {
 /// use parmatch_list::random_list;
 ///
 /// let list = random_list(10_000, 1);
+/// # #[allow(deprecated)]
 /// let out = match3(&list, Match3Config::default()).unwrap();
 /// verify::assert_maximal_matching(&list, &out.matching);
 /// assert!(out.final_bound <= 16); // "a constant not related to n"
 /// ```
+#[deprecated(note = "use Runner")]
+#[allow(deprecated)]
 pub fn match3(list: &LinkedList, config: Match3Config) -> Result<Match3Output, Match3Error> {
     match3_in(list, config, &mut Workspace::new())
 }
@@ -120,6 +123,8 @@ pub fn match3(list: &LinkedList, config: Match3Config) -> Result<Match3Output, M
 /// steady-state rerun with the same configuration skips the table
 /// enumeration entirely. Bit-identical to [`match3`] at every thread
 /// count.
+#[deprecated(note = "use Runner")]
+#[allow(deprecated)]
 pub fn match3_in(
     list: &LinkedList,
     config: Match3Config,
@@ -136,6 +141,7 @@ pub fn match3_in(
 /// against Lemma 5's `O(n·log G(n))` form. An error return (table too
 /// large) may leave the `match3` span open; [`crate::obs::Recorder`]
 /// closes it on finish.
+#[deprecated(note = "use Runner")]
 pub fn match3_obs<O: Observer>(
     list: &LinkedList,
     config: Match3Config,
@@ -313,6 +319,7 @@ pub fn match3_obs<O: Observer>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::verify;

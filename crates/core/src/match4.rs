@@ -55,11 +55,15 @@ pub struct Match4Output {
 /// # Panics
 ///
 /// Panics if `i == 0`.
+#[deprecated(note = "use Runner")]
+#[allow(deprecated)]
 pub fn match4(list: &LinkedList, i: u32) -> Match4Output {
     match4_with(list, i, CoinVariant::Msb)
 }
 
 /// [`match4`] with an explicit coin-tossing variant.
+#[deprecated(note = "use Runner")]
+#[allow(deprecated)]
 pub fn match4_with(list: &LinkedList, i: u32, variant: CoinVariant) -> Match4Output {
     match4_in(list, i, variant, &mut Workspace::new())
 }
@@ -72,6 +76,8 @@ pub fn match4_with(list: &LinkedList, i: u32, variant: CoinVariant) -> Match4Out
 /// # Panics
 ///
 /// Panics if `i == 0`.
+#[deprecated(note = "use Runner")]
+#[allow(deprecated)]
 pub fn match4_in(
     list: &LinkedList,
     i: u32,
@@ -94,6 +100,7 @@ pub fn match4_in(
 /// # Panics
 ///
 /// Panics if `i == 0`.
+#[deprecated(note = "use Runner")]
 pub fn match4_obs<O: Observer>(
     list: &LinkedList,
     i: u32,
@@ -195,17 +202,24 @@ pub fn match4_obs<O: Observer>(
         obs.exit();
     }
 
-    // Steps 2–4: the grid and both walkdowns.
+    // Steps 2–4: the grid and both walkdowns. The guard hands the grid's
+    // flat storage back to the workspace even if a later phase panics
+    // (observer-driven cancellation, injected faults), so a poisoned run
+    // never leaks the arena's largest buffers.
     let x = bound as usize;
-    let grid = Grid::new_in(
-        list,
-        sets,
-        bound,
-        x,
-        grid_pairs,
-        row_scatter,
-        std::mem::take(grid_store),
-    );
+    let guard = GridGuard {
+        grid: Some(Grid::new_in(
+            list,
+            sets,
+            bound,
+            x,
+            grid_pairs,
+            row_scatter,
+            std::mem::take(grid_store),
+        )),
+        slot: grid_store,
+    };
+    let grid = guard.grid.as_ref().expect("grid held until guard drops");
     if O::ENABLED {
         obs.enter("grid");
         obs.counter("rows", x as u64);
@@ -219,8 +233,8 @@ pub fn match4_obs<O: Observer>(
     }
     let pred: &[NodeId] = pred;
     let colors: &[AtomicU8] = colors;
-    let r1 = walkdown1_obs(list, &grid, pred, colors, obs);
-    let r2 = walkdown2_obs(list, &grid, pred, colors, walk_state, obs);
+    let r1 = walkdown1_obs(list, grid, pred, colors, obs);
+    let r2 = walkdown2_obs(list, grid, pred, colors, walk_state, obs);
     #[cfg(debug_assertions)]
     {
         let plain: Vec<u8> = colors.iter().map(|a| a.load(Ordering::Relaxed)).collect();
@@ -266,13 +280,29 @@ pub fn match4_obs<O: Observer>(
         obs.counter("work_per_node_x100", wu * 100 / n as u64);
     }
     obs.exit();
-    *grid_store = grid.into_storage();
+    drop(guard); // returns the grid storage to the workspace
     Match4Output {
         matching,
         rows: x,
         cols,
         distinct_sets,
         walk_rounds: r1 + r2,
+    }
+}
+
+/// Owns the [`Grid`] during steps 2–4 and returns its flat storage to
+/// the workspace slot on drop — including the unwind path, so an arena
+/// checked out by a job that panics mid-walkdown stays fully reusable.
+struct GridGuard<'a> {
+    grid: Option<Grid>,
+    slot: &'a mut crate::walkdown::GridStorage,
+}
+
+impl Drop for GridGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(grid) = self.grid.take() {
+            *self.slot = grid.into_storage();
+        }
     }
 }
 
@@ -313,6 +343,7 @@ pub fn match4_from_partition(list: &LinkedList, ps: &PointerSets) -> Match4Outpu
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::verify;

@@ -39,6 +39,19 @@ impl Matching {
         Self { in_matching: mask }
     }
 
+    /// [`Self::from_mask`] without the per-node validation pass, for
+    /// in-crate callers whose construction already guarantees every mark
+    /// sits on a real pointer (debug builds still check).
+    pub(crate) fn from_mask_unchecked(list: &LinkedList, mask: Vec<bool>) -> Self {
+        debug_assert_eq!(mask.len(), list.len(), "mask length mismatch");
+        debug_assert!(mask
+            .iter()
+            .enumerate()
+            .all(|(v, &m)| !m || list.next_raw(v as NodeId) != NIL));
+        let _ = list;
+        Self { in_matching: mask }
+    }
+
     /// Is pointer `<v, suc(v)>` matched?
     #[inline]
     pub fn contains_tail(&self, v: NodeId) -> bool {

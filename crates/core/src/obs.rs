@@ -135,6 +135,34 @@ impl Recorder {
         Recording { root: self.root }
     }
 
+    /// Graft a finished [`Recording`]'s top-level spans (and root
+    /// counters) into the current innermost span. The service layer uses
+    /// this to assemble per-job recordings — produced independently on
+    /// worker threads — under a service-level root span:
+    ///
+    /// ```
+    /// use parmatch_core::obs::{Observer, Recorder};
+    ///
+    /// let mut job = Recorder::new();
+    /// job.enter("match1");
+    /// job.counter("n", 64);
+    /// job.exit();
+    ///
+    /// let mut svc = Recorder::new();
+    /// svc.enter("service");
+    /// svc.enter("job#0");
+    /// svc.adopt(job.finish());
+    /// svc.exit();
+    /// svc.exit();
+    /// let rec = svc.finish();
+    /// assert_eq!(rec.spans()[0].children[0].children[0].label, "match1");
+    /// ```
+    pub fn adopt(&mut self, recording: Recording) {
+        let here = self.innermost();
+        here.counters.extend(recording.root.counters);
+        here.children.extend(recording.root.children);
+    }
+
     fn innermost(&mut self) -> &mut Span {
         self.stack.last_mut().unwrap_or(&mut self.root)
     }
@@ -468,6 +496,37 @@ mod tests {
         assert_eq!(a.to_json(), b.to_json());
         assert!(a.to_json().contains("\"bound\":12"));
         assert!(a.render().contains("[ok, margin 2]"));
+    }
+
+    #[test]
+    fn adopt_grafts_recordings_with_audits_intact() {
+        let mut job_a = Recorder::new();
+        job_a.enter("match1");
+        job_a.bounded("rounds", 3, 5);
+        job_a.exit();
+        let mut job_b = Recorder::new();
+        job_b.enter("match2");
+        job_b.bounded("distinct_sets", 9, 8); // violation survives the graft
+        job_b.exit();
+
+        let mut svc = Recorder::new();
+        svc.enter("service");
+        for (k, job) in [job_a, job_b].into_iter().enumerate() {
+            svc.enter(&format!("job#{k}"));
+            svc.adopt(job.finish());
+            svc.exit();
+        }
+        svc.exit();
+        let rec = svc.finish();
+        assert_eq!(rec.spans()[0].children.len(), 2);
+        let audits = rec.audits();
+        assert_eq!(audits.len(), 2);
+        assert_eq!(audits[0].path, "service/job#0/match1/rounds");
+        assert!(audits[0].pass);
+        assert_eq!(audits[1].path, "service/job#1/match2/distinct_sets");
+        assert!(!audits[1].pass);
+        assert!(!rec.all_bounds_hold());
+        assert_eq!(rec.counter_total("rounds"), 3);
     }
 
     #[test]

@@ -1,18 +1,18 @@
 //! The appendix's parallel evaluation of `G(n)` and `log G(n)`.
 //!
-//! "We use array N[1..n] and n processors. Processor i checks to see
+//! "We use array N\[1..n] and n processors. Processor i checks to see
 //! whether i is a power of 2. If i is a power of 2, processor i sets
-//! N[i] := log i, otherwise processor i sets N[i] := nil. Processor 1
-//! sets N[1] := 1. This creates many linked lists in array N. We call
-//! the one containing N[1] the main list. […] The number of executions
-//! of the statement N[i] := N[N[i]] needed to transform the last
+//! N\[i] := log i, otherwise processor i sets N\[i] := nil. Processor 1
+//! sets N\[1] := 1. This creates many linked lists in array N. We call
+//! the one containing N\[1] the main list. […] The number of executions
+//! of the statement N\[i] := N\[N\[i]] needed to transform the last
 //! pointer in the main list to point to 1 is an evaluation of
 //! log G(n)."
 //!
 //! The main list is the iterated-log chain
 //! `2^⌊log n⌋ → ⌊log n⌋ → …` truncated to power-of-two indices —
 //! its length is `Θ(G(n))` — and the doubling rounds needed to collapse
-//! it count `log G(n)`. Pointer jumping reads `N[N[i]]`, which two
+//! it count `log G(n)`. Pointer jumping reads `N\[N\[i]]`, which two
 //! processors can target simultaneously, so this program runs on CREW
 //! (the appendix machinery is offered for EREW *after* the function
 //! values are tabulated; the jumping evaluation itself concurrently

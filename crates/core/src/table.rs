@@ -13,7 +13,7 @@
 //! `f^(m)(a_1..a_m) = f(f^(m-1)(a_1..a_{m-1}), f^(m-1)(a_2..a_m))`,
 //! computed as a triangle of `m(m+1)/2` cells — exactly the cell scheme
 //! the appendix uses for its EREW guess-and-verify construction. The
-//! total extension [`f_ext`](crate::labels::f_ext) makes the fold well
+//! total extension [`f_ext`] makes the fold well
 //! defined on *every* encoding, including windows no list produces.
 //!
 //! Because each fold level preserves "adjacent values distinct" along

@@ -56,7 +56,7 @@ pub(crate) struct GridStorage {
 
 /// The two-dimensional view of the list plus the per-column sort.
 ///
-/// Stored as flat column-major arrays (see [`GridStorage`]) rather than
+/// Stored as flat column-major arrays (see `GridStorage`) rather than
 /// nested `Vec<Vec<_>>`: one allocation per array, and the per-column
 /// sorts become `par_chunks_mut(x)` over the flat pair array.
 #[derive(Debug, Clone)]

@@ -32,14 +32,14 @@ pub(crate) const CHUNK: usize = 1 << 13;
 /// # Examples
 ///
 /// ```
-/// use parmatch_core::{match1_in, CoinVariant, Workspace};
+/// use parmatch_core::prelude::*;
 /// use parmatch_list::random_list;
 ///
 /// let list = random_list(10_000, 1);
 /// let mut ws = Workspace::new();
-/// let a = match1_in(&list, CoinVariant::Msb, &mut ws);
-/// let b = match1_in(&list, CoinVariant::Msb, &mut ws); // reuses buffers
-/// assert_eq!(a.matching, b.matching);
+/// let a = Runner::new(Algorithm::Match1).workspace(&mut ws).run(&list);
+/// let b = Runner::new(Algorithm::Match1).workspace(&mut ws).run(&list); // reuses buffers
+/// assert_eq!(a.matching(), b.matching());
 /// ```
 #[derive(Debug, Default)]
 pub struct Workspace {
@@ -159,6 +159,77 @@ impl Workspace {
                     *slot = (base + i) as Word;
                 }
             });
+    }
+
+    /// Fill `next_cyc` for a fused batch: job `j`'s nodes occupy
+    /// `offsets[j] .. offsets[j+1]` and its successors are translated
+    /// into that window, so the concatenation is a disjoint union of the
+    /// jobs' cyclic orders (no pointer crosses a job boundary).
+    pub(crate) fn prepare_batch_next_cyc(&mut self, lists: &[&LinkedList], offsets: &[usize]) {
+        let total = *offsets.last().expect("offsets never empty");
+        self.next_cyc.resize(total, NIL);
+        let mut rest: &mut [NodeId] = &mut self.next_cyc;
+        let mut slices = Vec::with_capacity(lists.len());
+        for (j, list) in lists.iter().enumerate() {
+            let (head, tail) = rest.split_at_mut(offsets[j + 1] - offsets[j]);
+            slices.push((offsets[j], *list, head));
+            rest = tail;
+        }
+        slices.into_par_iter().for_each(|(off, list, slot)| {
+            for (v, s) in slot.iter_mut().enumerate() {
+                *s = off as NodeId + list.next_cyclic(v as NodeId);
+            }
+        });
+    }
+
+    /// Initialize `labels_a` with each job's **local** addresses
+    /// (`labels[off + v] = v`), so every fused job starts from exactly
+    /// the label state its solo run would (and size `labels_b`).
+    pub(crate) fn prepare_batch_local_labels(&mut self, offsets: &[usize]) {
+        let total = *offsets.last().expect("offsets never empty");
+        self.labels_a.resize(total, 0);
+        self.labels_b.resize(total, 0);
+        let mut rest: &mut [Word] = &mut self.labels_a;
+        let mut slices = Vec::with_capacity(offsets.len() - 1);
+        for j in 0..offsets.len() - 1 {
+            let (head, tail) = rest.split_at_mut(offsets[j + 1] - offsets[j]);
+            slices.push(head);
+            rest = tail;
+        }
+        slices.into_par_iter().for_each(|slot| {
+            for (v, s) in slot.iter_mut().enumerate() {
+                *s = v as Word;
+            }
+        });
+    }
+
+    /// Clear every per-node buffer while keeping its allocation (and the
+    /// grid storage and Match3 table cache intact). The service layer
+    /// calls this when returning an arena to the pool after a job
+    /// panicked mid-phase: the next checkout sees empty buffers, and
+    /// every `prepare_*` pass resizes-and-refills anyway, so a scrubbed
+    /// arena behaves exactly like a fresh one at steady-state cost.
+    pub fn scrub(&mut self) {
+        self.next_cyc.clear();
+        self.pred_atomic.clear();
+        self.pred.clear();
+        self.labels_a.clear();
+        self.labels_b.clear();
+        self.nxt_a.clear();
+        self.nxt_b.clear();
+        self.cut.clear();
+        self.mask.clear();
+        self.matched.clear();
+        self.done.clear();
+        self.greedy_mask.clear();
+        self.bucket_nodes.clear();
+        self.hist.clear();
+        self.set_starts.clear();
+        self.colors.clear();
+        self.walk_state.clear();
+        self.sets.clear();
+        self.grid_pairs.clear();
+        self.row_scatter.clear();
     }
 
     /// Reset the walkdown colors to [`UNCOLORED`].

@@ -17,6 +17,11 @@
 //!   constant `c`, asserted per matcher below and recorded as
 //!   `work_per_node_x100`.
 
+// These differential suites deliberately pin the deprecated legacy entry
+// points: they are the ground truth the Runner facade must stay
+// bit-identical to.
+#![allow(deprecated)]
+
 use parmatch_bits::{g_of, ilog2_ceil, log_star};
 use parmatch_core::{
     match1_in, match1_obs, match2_in, match2_obs, match3_in, match3_obs, match4_in, match4_obs,

@@ -27,6 +27,11 @@
 //! Every relation is checked through both the fresh entry points and
 //! the workspace-backed `*_in` twins.
 
+// These differential suites deliberately pin the deprecated legacy entry
+// points: they are the ground truth the Runner facade must stay
+// bit-identical to.
+#![allow(deprecated)]
+
 use parmatch_bits::BitReversalTable;
 use parmatch_core::finish::from_labels;
 use parmatch_core::{

@@ -7,6 +7,11 @@
 //! shim's pool honors `install`, so each block below re-runs the whole
 //! pipeline on pools of 1, 2 and 8 workers and compares raw outputs.
 
+// These differential suites deliberately pin the deprecated legacy entry
+// points: they are the ground truth the Runner facade must stay
+// bit-identical to.
+#![allow(deprecated)]
+
 use parmatch_core::finish::from_labels;
 use parmatch_core::{
     match1, match1_in, match2, match2_in, match3, match3_in, match4_in, match4_with, CoinVariant,

@@ -6,6 +6,11 @@
 //! properties that drive the simulated PRAM (or build Match3 jump
 //! tables) under the debug-profile conflict checker stay at 48.
 
+// These differential suites deliberately pin the deprecated legacy entry
+// points: they are the ground truth the Runner facade must stay
+// bit-identical to.
+#![allow(deprecated)]
+
 use parmatch_core::pram_impl::{
     match1_pram, match2_pram, match3_pram, match4_pram, rank_pram, wyllie_pram,
 };

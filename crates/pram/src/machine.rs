@@ -6,9 +6,9 @@
 //!
 //! 1. **Execute** — processors `0..p` are partitioned into contiguous
 //!    pid chunks (at most one per worker thread, at least
-//!    [`MIN_CHUNK`] pids each) and run via recursive [`rayon::join`].
+//!    `MIN_CHUNK` pids each) and run via recursive [`rayon::join`].
 //!    Each chunk appends its read log and its per-pid-deduplicated
-//!    write list into a recycled [`ChunkScratch`] owned by the
+//!    write list into a recycled `ChunkScratch` owned by the
 //!    [`Machine`] — no per-processor or per-step allocation.
 //! 2. **Resolve** — a sequential pass walks the chunk scratches in pid
 //!    order and applies writes in place, first-writer-per-cell wins
@@ -21,8 +21,8 @@
 //! Read-exclusivity (EREW) is checked the same way: a stamped pass over
 //! the logged `(addr, pid)` reads, instead of the former
 //! clone + sort + dedup + windows scan. When any conflict is detected,
-//! the engine falls back to [`canonical_read_error`] /
-//! [`canonical_write_error`] — a verbatim re-run of the original sorted
+//! the engine falls back to `canonical_read_error` /
+//! `canonical_write_error` — a verbatim re-run of the original sorted
 //! windows scan — so the *selected* error (lowest address, lowest
 //! colliding pids, `WriteConflict` before `CommonValueMismatch`) is
 //! bit-identical to the original engine, while the conflict-free hot

@@ -1,0 +1,215 @@
+//! Differential suite: anything the service returns for a match job
+//! must be **bit-identical** to a sequential [`Runner`] run of the same
+//! spec — whatever got batched, pooled, cancelled around it, or fault
+//! injected next to it.
+
+use parmatch_core::prelude::*;
+use parmatch_list::{random_list, LinkedList};
+use parmatch_pram::fault::{FaultClass, FaultPlan};
+use parmatch_service::{JobId, JobResult, JobSpec, MatchService, ServiceConfig, SubmitError};
+use std::collections::HashMap;
+
+/// Sizes spanning the degenerate cases, several batchable width
+/// classes, and lists big enough to exercise the parallel pipeline.
+const SIZES: &[usize] = &[0, 1, 2, 3, 9, 17, 40, 47, 64, 100, 777, 4096, 1 << 14];
+
+fn spec_for(i: usize, list: &LinkedList) -> JobSpec {
+    let algo = Algorithm::ALL[i % 4];
+    let variant = if i.is_multiple_of(3) {
+        CoinVariant::Lsb
+    } else {
+        CoinVariant::Msb
+    };
+    let mut spec = JobSpec::new(algo, list.clone()).variant(variant);
+    match i % 5 {
+        1 => spec = spec.threads(1),
+        2 => spec = spec.threads(2),
+        3 => spec = spec.threads(8),
+        4 if i.is_multiple_of(2) => spec = spec.observed(),
+        _ => {}
+    }
+    spec
+}
+
+fn reference_run(spec: &JobSpec) -> MatchOutcome {
+    let mut runner = Runner::new(spec.algorithm)
+        .config(spec.config)
+        .variant(spec.variant)
+        .rounds(spec.rounds)
+        .levels(spec.levels);
+    if let Some(t) = spec.threads {
+        runner = runner.threads(t);
+    }
+    runner.run(&spec.list)
+}
+
+/// Submit with bounded-queue backpressure: on `Busy`, drain one result
+/// and retry.
+fn submit_pumping(svc: &MatchService, spec: JobSpec, results: &mut Vec<JobResult>) -> JobId {
+    let mut spec = spec;
+    loop {
+        match svc.submit(spec) {
+            Ok(id) => return id,
+            Err(SubmitError::Busy(returned)) => {
+                spec = returned;
+                if let Some(r) = svc.recv() {
+                    results.push(r);
+                }
+            }
+            Err(SubmitError::Closed(_)) => panic!("service closed mid-test"),
+        }
+    }
+}
+
+#[test]
+fn concurrent_jobs_match_sequential_runner_bit_for_bit() {
+    let svc = MatchService::start(ServiceConfig {
+        workers: 3,
+        queue_depth: 16,
+        arenas: 2,
+        max_batch: 16,
+        threads_per_job: 1,
+    });
+    let mut specs: HashMap<JobId, JobSpec> = HashMap::new();
+    let mut results = Vec::new();
+    let mut submitted = 0usize;
+    for (i, &n) in SIZES.iter().cycle().take(60).enumerate() {
+        let list = random_list(n, i as u64);
+        let spec = spec_for(i, &list);
+        let id = submit_pumping(&svc, spec.clone(), &mut results);
+        specs.insert(id, spec);
+        submitted += 1;
+    }
+    while results.len() < submitted {
+        results.push(svc.recv().expect("all jobs complete"));
+    }
+    assert_eq!(results.len(), submitted);
+    for result in &results {
+        let spec = specs.get(&result.id).expect("known job");
+        let out = result
+            .output
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{} failed: {e}", result.id));
+        let reference = reference_run(spec);
+        assert_eq!(
+            out.matching().unwrap(),
+            reference.matching(),
+            "{} ({} n={} batched={})",
+            result.id,
+            spec.algorithm,
+            spec.list.len(),
+            result.batched
+        );
+        if spec.observed {
+            let rec = result.recording.as_ref().expect("observed job records");
+            assert!(rec.all_bounds_hold(), "{}", rec.render());
+        }
+    }
+    svc.shutdown();
+}
+
+#[test]
+fn batched_small_jobs_match_sequential_runner() {
+    // Many same-width-class lists through a single busy worker: most
+    // fuse; every one must equal its solo run.
+    let svc = MatchService::start(ServiceConfig {
+        workers: 1,
+        queue_depth: 64,
+        arenas: 1,
+        max_batch: 32,
+        threads_per_job: 1,
+    });
+    svc.submit(JobSpec::new(Algorithm::Match4, random_list(100_000, 99)))
+        .unwrap();
+    let mut specs = HashMap::new();
+    let mut results = Vec::new();
+    for i in 0..48usize {
+        let n = 33 + (i * 7) % 32; // one width class: 33..=64
+        let variant = if i % 2 == 0 {
+            CoinVariant::Msb
+        } else {
+            CoinVariant::Lsb
+        };
+        let list = random_list(n, 1000 + i as u64);
+        let spec = JobSpec::new(Algorithm::Match1, list).variant(variant);
+        let id = submit_pumping(&svc, spec.clone(), &mut results);
+        specs.insert(id, spec);
+    }
+    while results.len() < specs.len() + 1 {
+        results.push(svc.recv().expect("all jobs complete"));
+    }
+    let mut batched = 0usize;
+    for result in &results {
+        let Some(spec) = specs.get(&result.id) else {
+            continue; // the slow Match4 filler
+        };
+        batched += usize::from(result.batched);
+        let out = result.output.as_ref().expect("job succeeds");
+        let reference = reference_run(spec);
+        assert_eq!(
+            out.matching().unwrap(),
+            reference.matching(),
+            "{} n={} batched={}",
+            result.id,
+            spec.list.len(),
+            result.batched
+        );
+    }
+    assert!(
+        batched >= specs.len() / 2,
+        "queued same-class jobs should mostly fuse (got {batched}/{})",
+        specs.len()
+    );
+    svc.shutdown();
+}
+
+#[test]
+fn fault_injected_job_leaves_others_bit_identical() {
+    let svc = MatchService::start(ServiceConfig {
+        workers: 2,
+        queue_depth: 32,
+        arenas: 2,
+        max_batch: 8,
+        threads_per_job: 1,
+    });
+    let plan = FaultPlan::generate(7, FaultClass::DropWrite, 3, 500, 16);
+    let faulty = svc
+        .submit(JobSpec::new(Algorithm::Match1, random_list(300, 50)).fault_plan(plan))
+        .unwrap();
+    let mut specs = HashMap::new();
+    let mut results = Vec::new();
+    for i in 0..12usize {
+        let list = random_list(SIZES[i % SIZES.len()], 2000 + i as u64);
+        let spec = spec_for(i, &list);
+        let id = submit_pumping(&svc, spec.clone(), &mut results);
+        specs.insert(id, spec);
+    }
+    while results.len() < specs.len() + 1 {
+        results.push(svc.recv().expect("all jobs complete"));
+    }
+    for result in &results {
+        if result.id == faulty {
+            let run = result
+                .output
+                .as_ref()
+                .expect("harness classifies")
+                .as_verified()
+                .cloned()
+                .expect("fault job runs verified");
+            assert!(run.verified, "bounded retries must converge");
+            continue;
+        }
+        let spec = specs.get(&result.id).expect("known job");
+        let out = result.output.as_ref().expect("unaffected by the fault job");
+        let reference = reference_run(spec);
+        assert_eq!(
+            out.matching().unwrap(),
+            reference.matching(),
+            "{} ({} n={})",
+            result.id,
+            spec.algorithm,
+            spec.list.len()
+        );
+    }
+    svc.shutdown();
+}

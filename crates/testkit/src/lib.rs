@@ -92,7 +92,13 @@ thread_local! {
 /// process-global hook is installed once and filters on a thread-local
 /// flag, so concurrent threads (other tests, rayon workers) keep the
 /// default reporting.
-fn with_expected_panics<R>(f: impl FnOnce() -> R) -> R {
+///
+/// Public for harnesses that catch *expected* panics themselves — the
+/// service layer wraps each job's `catch_unwind` in this so a
+/// cancellation probe's deliberate unwind (or a fault-tripped matcher
+/// assertion) does not spew a backtrace while genuine panics elsewhere
+/// in the process still report normally.
+pub fn with_expected_panics<R>(f: impl FnOnce() -> R) -> R {
     static INIT: std::sync::Once = std::sync::Once::new();
     INIT.call_once(|| {
         let prev = std::panic::take_hook();

@@ -6,7 +6,7 @@
 //! ```
 
 use parmatch::baselines::seq_matching;
-use parmatch::core::{match1, match2, match3, match4, verify, CoinVariant, Match3Config};
+use parmatch::core::{verify, Algorithm, CoinVariant, Runner};
 use parmatch::list::random_list;
 use std::time::Instant;
 
@@ -34,7 +34,10 @@ fn main() {
     report("sequential greedy", &m, t.elapsed());
 
     let t = Instant::now();
-    let out = match1(&list, CoinVariant::Msb);
+    let outcome = Runner::new(Algorithm::Match1)
+        .variant(CoinVariant::Msb)
+        .run(&list);
+    let out = outcome.as_match1().expect("match1 outcome");
     report("Match1 (coin tossing)", &out.matching, t.elapsed());
     println!(
         "      converged in {} rounds to labels < {}",
@@ -42,7 +45,11 @@ fn main() {
     );
 
     let t = Instant::now();
-    let out = match2(&list, 2, CoinVariant::Msb);
+    let outcome = Runner::new(Algorithm::Match2)
+        .rounds(2)
+        .variant(CoinVariant::Msb)
+        .run(&list);
+    let out = outcome.as_match2().expect("match2 outcome");
     report("Match2 (sort + sweep)", &out.matching, t.elapsed());
     println!(
         "      {} matching sets after 2 rounds",
@@ -50,7 +57,8 @@ fn main() {
     );
 
     let t = Instant::now();
-    let out = match3(&list, Match3Config::default()).expect("table fits");
+    let outcome = Runner::new(Algorithm::Match3).run(&list);
+    let out = outcome.as_match3().expect("match3 outcome");
     report("Match3 (table lookup)", &out.matching, t.elapsed());
     println!(
         "      crunch {} rounds, {} jump rounds, 2^{}-entry table",
@@ -58,7 +66,8 @@ fn main() {
     );
 
     let t = Instant::now();
-    let out = match4(&list, 2);
+    let outcome = Runner::new(Algorithm::Match4).levels(2).run(&list);
+    let out = outcome.as_match4().expect("match4 outcome");
     report("Match4 (WalkDown)", &out.matching, t.elapsed());
     println!(
         "      grid {} rows × {} columns, {} lockstep walk rounds",

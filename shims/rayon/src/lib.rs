@@ -65,7 +65,11 @@ pub(crate) fn thread_override_set(v: Option<usize>) {
 fn default_threads() -> usize {
     // Like the real rayon, the global default honors RAYON_NUM_THREADS
     // (CI runs the test suite under a {1, 2, 8} matrix); unparsable or
-    // zero values fall back to the machine's parallelism.
+    // zero values fall back to the machine's parallelism. The
+    // parallelism probe is cached: `available_parallelism` re-reads the
+    // cgroup cpu quota from the filesystem on every call (~17µs here),
+    // which would otherwise tax every parallel dispatch — the env var
+    // lookup itself is cheap and stays live so tests can re-pin it.
     if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
         if let Ok(n) = s.trim().parse::<usize>() {
             if n > 0 {
@@ -73,9 +77,12 @@ fn default_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static MACHINE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *MACHINE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// The number of threads parallel work may use on this thread: the
@@ -145,8 +152,10 @@ impl ThreadPoolBuilder {
 }
 
 /// A virtual pool: a thread-count limit that [`ThreadPool::install`]
-/// puts in force for the duration of a closure.
-#[derive(Debug)]
+/// puts in force for the duration of a closure. `Clone` (the pool is
+/// just its limit) so a service can hand each worker thread its own
+/// handle to one shared configuration.
+#[derive(Debug, Clone)]
 pub struct ThreadPool {
     num_threads: usize,
 }
@@ -189,6 +198,17 @@ mod tests {
         let inside = pool.install(current_num_threads);
         assert_eq!(inside, 1);
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn cloned_pool_carries_the_limit_across_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let copy = pool.clone();
+        assert_eq!(copy.current_num_threads(), 2);
+        let inside = std::thread::spawn(move || copy.install(current_num_threads))
+            .join()
+            .unwrap();
+        assert_eq!(inside, 2);
     }
 
     #[test]

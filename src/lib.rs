@@ -16,7 +16,8 @@
 //! | need | go to |
 //! |---|---|
 //! | build / generate linked lists | [`list`] |
-//! | compute a maximal matching | [`core::match4`], [`core::match1`]… |
+//! | compute a maximal matching | [`core::Runner`], [`core::Algorithm`] |
+//! | batch many jobs through a pooled service | [`service`] |
 //! | exact PRAM step counts | [`core::pram_impl`], [`pram`] |
 //! | 3-coloring, MIS, list ranking, prefix | [`apps`] |
 //! | sequential / randomized / Wyllie baselines | [`baselines`] |
@@ -25,12 +26,14 @@
 //! ## Sixty seconds
 //!
 //! ```
-//! use parmatch::core::{match4, verify};
+//! use parmatch::core::{verify, Algorithm, Runner};
 //! use parmatch::list::random_list;
 //!
 //! let list = random_list(100_000, 42);
-//! let out = match4(&list, 2); // i = 2: log^(2) n matching sets
-//! verify::assert_maximal_matching(&list, &out.matching);
+//! // i = 2: log^(2) n matching sets
+//! let outcome = Runner::new(Algorithm::Match4).levels(2).run(&list);
+//! verify::assert_maximal_matching(&list, outcome.matching());
+//! let out = outcome.as_match4().unwrap();
 //! println!(
 //!     "matched {} of {} pointers on a {}×{} grid",
 //!     out.matching.len(), list.pointer_count(), out.rows, out.cols,
@@ -46,3 +49,4 @@ pub use parmatch_bits as bits;
 pub use parmatch_core as core;
 pub use parmatch_list as list;
 pub use parmatch_pram as pram;
+pub use parmatch_service as service;

@@ -10,7 +10,7 @@ use parmatch::apps::{
 use parmatch::baselines::cv::node_coloring_is_proper;
 use parmatch::baselines::{randomized_matching, seq_matching, wyllie_ranks};
 use parmatch::core::pram_impl::{match1_pram, match2_pram, match4_pram};
-use parmatch::core::{cost, match1, match2, match3, match4, verify, CoinVariant, Match3Config};
+use parmatch::core::{cost, verify, Algorithm, CoinVariant, Runner};
 use parmatch::list::{blocked_list, random_list, reversed_list, sequential_list, validate};
 use parmatch::pram::ExecMode;
 
@@ -22,17 +22,16 @@ fn every_algorithm_agrees_on_maximality_everywhere() {
         for seed in LAYOUT_SEEDS {
             let list = random_list(n, seed);
             validate(&list).unwrap();
-            let outputs = vec![
-                ("seq", seq_matching(&list)),
-                ("match1", match1(&list, CoinVariant::Msb).matching),
-                ("match2", match2(&list, 2, CoinVariant::Msb).matching),
-                (
-                    "match3",
-                    match3(&list, Match3Config::default()).unwrap().matching,
-                ),
-                ("match4", match4(&list, 2).matching),
-                ("random", randomized_matching(&list, seed).matching),
-            ];
+            let mut outputs = vec![("seq", seq_matching(&list))];
+            for algo in Algorithm::ALL {
+                let m = Runner::new(algo)
+                    .rounds(2)
+                    .levels(2)
+                    .run(&list)
+                    .into_matching();
+                outputs.push((algo.name(), m));
+            }
+            outputs.push(("random", randomized_matching(&list, seed).matching));
             for (name, m) in outputs {
                 assert!(verify::is_matching(&list, &m), "{name} n={n} seed={seed}");
                 assert!(verify::is_maximal(&list, &m), "{name} n={n} seed={seed}");
@@ -45,7 +44,10 @@ fn every_algorithm_agrees_on_maximality_everywhere() {
 #[test]
 fn pram_and_native_match1_identical_across_processor_counts() {
     let list = random_list(3000, 11);
-    let native = match1(&list, CoinVariant::Msb).matching;
+    let native = Runner::new(Algorithm::Match1)
+        .variant(CoinVariant::Msb)
+        .run(&list)
+        .into_matching();
     for p in [1usize, 2, 17, 256, 3000] {
         let pram = match1_pram(&list, p, CoinVariant::Msb, ExecMode::Checked).unwrap();
         assert_eq!(pram.matching, native, "p={p}");
@@ -162,8 +164,15 @@ fn contraction_work_beats_wyllie_at_scale() {
 #[test]
 fn coin_variants_agree_on_quality() {
     let list = random_list(10_000, 5);
-    let msb = match4(&list, 2).matching;
-    let lsb = parmatch::core::match4_with(&list, 2, CoinVariant::Lsb).matching;
+    let msb = Runner::new(Algorithm::Match4)
+        .levels(2)
+        .run(&list)
+        .into_matching();
+    let lsb = Runner::new(Algorithm::Match4)
+        .levels(2)
+        .variant(CoinVariant::Lsb)
+        .run(&list)
+        .into_matching();
     // different matchings, same guarantees
     for m in [&msb, &lsb] {
         verify::assert_maximal_matching(&list, m);
@@ -175,7 +184,10 @@ fn facade_reexports_are_wired() {
     // one call through every facade path
     let list = parmatch::list::sequential_list(64);
     let _ = parmatch::bits::g_of(64);
-    let _ = parmatch::core::match1(&list, CoinVariant::Msb);
+    let _ = parmatch::core::Runner::new(Algorithm::Match1)
+        .variant(CoinVariant::Msb)
+        .run(&list);
+    let _ = parmatch::service::JobSpec::new(Algorithm::Match1, list.clone());
     let _ = parmatch::baselines::seq_matching(&list);
     let _ = parmatch::apps::mis_via_match4(&list, 1, CoinVariant::Msb);
     let mut m = parmatch::pram::Machine::new(parmatch::pram::Model::Erew, 4);
